@@ -1,0 +1,546 @@
+package ppj
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation, plus measured-execution and substrate benchmarks.
+// The paper's §4.6/§5.4 numbers are closed-form; the BenchmarkFig*/
+// BenchmarkTable* functions time their regeneration and attach the headline
+// values as metrics, while the BenchmarkMeasured* functions run the actual
+// algorithms in the simulator and report measured transfers. `go test
+// -bench=. -benchmem` therefore regenerates every artefact; cmd/ppjbench
+// renders the same series as tables.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ppj/internal/core"
+	"ppj/internal/costmodel"
+	"ppj/internal/mlfsr"
+	"ppj/internal/oblivious"
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+	"ppj/internal/smc"
+)
+
+// --- Figures ---
+
+// BenchmarkFig4_1 regenerates the Figure 4.1 performance-relationship map.
+func BenchmarkFig4_1(b *testing.B) {
+	const bSize = 10_000
+	var alg1Wins int
+	for i := 0; i < b.N; i++ {
+		alg1Wins = 0
+		for _, alpha := range []float64{1.0 / bSize, 0.001, 0.01, 0.1, 1} {
+			for gamma := int64(1); gamma <= 64; gamma *= 2 {
+				if costmodel.Winner(bSize, alpha, gamma, false) == "Alg1" {
+					alg1Wins++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(alg1Wins), "alg1-region-cells")
+}
+
+// BenchmarkSFEComparison regenerates the §4.6.5 SFE-vs-Algorithm-1 series.
+func BenchmarkSFEComparison(b *testing.B) {
+	p := costmodel.DefaultSFEParams()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sfe := costmodel.SFECostBits(p, 10_000, 10, 64)
+		alg1 := costmodel.Alg1CostBits(10_000, 10_000, 10, 64)
+		ratio = sfe / alg1
+	}
+	b.ReportMetric(ratio, "sfe/alg1")
+}
+
+// BenchmarkFig5_1 regenerates Figure 5.1 (Algorithm 5 cost vs M).
+func BenchmarkFig5_1(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for m := int64(1); m <= 6400; m *= 2 {
+			last = costmodel.Alg5Cost(640_000, 6_400, m)
+		}
+	}
+	b.ReportMetric(last, "cost-at-M4096")
+}
+
+// BenchmarkFig5_2 regenerates Figure 5.2 (Algorithm 6 cost vs epsilon,
+// setting 1). Each point solves the n* optimisation (Eqn 5.6).
+func BenchmarkFig5_2(b *testing.B) {
+	var at20 float64
+	for i := 0; i < b.N; i++ {
+		for exp := -60; exp <= -5; exp += 5 {
+			c := costmodel.Alg6Cost(640_000, 6_400, 64, math.Pow(10, float64(exp))).Total
+			if exp == -20 {
+				at20 = c
+			}
+		}
+	}
+	b.ReportMetric(at20, "cost-at-1e-20")
+}
+
+// BenchmarkFig5_3 regenerates Figure 5.3 (Algorithm 6 cost vs M).
+func BenchmarkFig5_3(b *testing.B) {
+	var at64 float64
+	for i := 0; i < b.N; i++ {
+		for m := int64(16); m <= 6400; m *= 2 {
+			c := costmodel.Alg6Cost(640_000, 6_400, m, 1e-20).Total
+			if m == 64 {
+				at64 = c
+			}
+		}
+	}
+	b.ReportMetric(at64, "cost-at-M64")
+}
+
+// BenchmarkFig5_4 regenerates Figure 5.4 (Algorithm 6 vs epsilon, all
+// settings).
+func BenchmarkFig5_4(b *testing.B) {
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum = 0
+		for _, st := range costmodel.Settings() {
+			for exp := -60; exp <= -5; exp += 10 {
+				sum += costmodel.Alg6Cost(st.L, st.S, st.M, math.Pow(10, float64(exp))).Total
+			}
+		}
+	}
+	b.ReportMetric(sum, "series-sum")
+}
+
+// --- Tables ---
+
+// BenchmarkTable5_1 regenerates Table 5.1 (privacy level vs cost formulas).
+func BenchmarkTable5_1(b *testing.B) {
+	st := costmodel.Settings()[0]
+	var a4, a5, a6 float64
+	for i := 0; i < b.N; i++ {
+		a4 = costmodel.Alg4Cost(st.L, st.S)
+		a5 = costmodel.Alg5Cost(st.L, st.S, st.M)
+		a6 = costmodel.Alg6Cost(st.L, st.S, st.M, 1e-20).Total
+	}
+	b.ReportMetric(a4, "alg4")
+	b.ReportMetric(a5, "alg5")
+	b.ReportMetric(a6, "alg6")
+}
+
+// BenchmarkTable5_2 regenerates Table 5.2 (settings; trivially cheap, kept
+// for completeness of the per-artefact index).
+func BenchmarkTable5_2(b *testing.B) {
+	var l int64
+	for i := 0; i < b.N; i++ {
+		for _, st := range costmodel.Settings() {
+			l += st.L
+		}
+	}
+	b.ReportMetric(float64(l/int64(3*b.N)), "mean-L")
+}
+
+// BenchmarkTable5_3 regenerates Table 5.3 (SMC and Algorithms 4/5/6 under
+// all settings, both epsilon levels, plus the reduction row).
+func BenchmarkTable5_3(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		for _, st := range costmodel.Settings() {
+			_ = costmodel.SMCCost(costmodel.DefaultSMCParams(), st.L, st.S)
+			_ = costmodel.Alg4Cost(st.L, st.S)
+			a5 := costmodel.Alg5Cost(st.L, st.S, st.M)
+			a6 := costmodel.Alg6Cost(st.L, st.S, st.M, 1e-20).Total
+			_ = costmodel.Alg6Cost(st.L, st.S, st.M, 1e-10).Total
+			red = 100 * (1 - a6/a5)
+		}
+	}
+	b.ReportMetric(red, "setting3-reduction-%")
+}
+
+// --- Measured executions (simulator, reduced scale) ---
+
+// measuredCh4 runs one Chapter 4 algorithm over a fixed workload.
+func measuredCh4(b *testing.B, run func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error)) {
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(7), 32, 64, 4)
+	eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var transfers uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Memory: 2, Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabA, err := sim.LoadTable(h, cop.Sealer(), "A", relA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabB, err := sim.LoadTable(h, cop.Sealer(), "B", relB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := run(cop, tabA, tabB, eq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transfers = res.Stats.Transfers()
+	}
+	b.ReportMetric(float64(transfers), "transfers")
+}
+
+// BenchmarkMeasuredAlg1 executes Algorithm 1 (|A|=32, |B|=64, N=4).
+func BenchmarkMeasuredAlg1(b *testing.B) {
+	measuredCh4(b, func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+		return core.Join1(t, a, bb, eq, 4)
+	})
+}
+
+// BenchmarkMeasuredAlg2 executes Algorithm 2 (same workload, M=2, γ=2).
+func BenchmarkMeasuredAlg2(b *testing.B) {
+	measuredCh4(b, func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+		return core.Join2(t, a, bb, eq, 4, 0)
+	})
+}
+
+// BenchmarkMeasuredAlg3 executes Algorithm 3 (same workload).
+func BenchmarkMeasuredAlg3(b *testing.B) {
+	measuredCh4(b, func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+		return core.Join3(t, a, bb, eq, 4, false)
+	})
+}
+
+// measuredCh5 runs one Chapter 5 algorithm over the scaled setting
+// L=6400, S=64.
+func measuredCh5(b *testing.B, mem int, run func(t *sim.Coprocessor, tabs []sim.Table, pred relation.MultiPredicate) (core.Result, error)) {
+	relA := relation.NewRelation(relation.KeyedSchema())
+	relB := relation.NewRelation(relation.KeyedSchema())
+	rng := relation.NewRand(9)
+	for i := 0; i < 80; i++ {
+		relA.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(rng.Int64N(1 << 20))})
+	}
+	for j := 0; j < 64; j++ {
+		relB.MustAppend(relation.Tuple{relation.IntValue(int64(j)), relation.IntValue(rng.Int64N(1 << 20))})
+	}
+	for j := 64; j < 80; j++ {
+		relB.MustAppend(relation.Tuple{relation.IntValue(1000 + int64(j)), relation.IntValue(0)})
+	}
+	eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := relation.Pairwise(eq)
+	var transfers uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Memory: mem, Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabA, err := sim.LoadTable(h, cop.Sealer(), "X1", relA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabB, err := sim.LoadTable(h, cop.Sealer(), "X2", relB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := run(cop, []sim.Table{tabA, tabB}, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transfers = res.Stats.Transfers()
+	}
+	b.ReportMetric(float64(transfers), "transfers")
+}
+
+// BenchmarkMeasuredAlg4 executes Algorithm 4 at L=6400, S=64.
+func BenchmarkMeasuredAlg4(b *testing.B) {
+	measuredCh5(b, 2, core.Join4)
+}
+
+// BenchmarkMeasuredAlg5 executes Algorithm 5 at L=6400, S=64, M=8.
+func BenchmarkMeasuredAlg5(b *testing.B) {
+	measuredCh5(b, 8, core.Join5)
+}
+
+// BenchmarkMeasuredAlg6 executes Algorithm 6 at L=6400, S=64, M=8,
+// eps=1e-10.
+func BenchmarkMeasuredAlg6(b *testing.B) {
+	measuredCh5(b, 8, func(t *sim.Coprocessor, tabs []sim.Table, pred relation.MultiPredicate) (core.Result, error) {
+		rep, err := core.Join6(t, tabs, pred, 1e-10)
+		return rep.Result, err
+	})
+}
+
+// BenchmarkMeasuredAlg5OCB is Algorithm 5 with the real authenticated
+// encryption, measuring the cryptographic cost per join.
+func BenchmarkMeasuredAlg5OCB(b *testing.B) {
+	relA := relation.GenKeyed(relation.NewRand(9), 80, 80)
+	relB := relation.GenKeyed(relation.NewRand(10), 80, 80)
+	eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := relation.Pairwise(eq)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		sealer, err := sim.NewRandomOCBSealer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cop, err := sim.NewCoprocessor(h, sim.Config{Memory: 16, Sealer: sealer, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabA, err := sim.LoadTable(h, sealer, "X1", relA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabB, err := sim.LoadTable(h, sealer, "X2", relB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.Join5(cop, []sim.Table{tabA, tabB}, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrates ---
+
+// BenchmarkOCBSeal measures authenticated encryption of one 64-byte tuple.
+func BenchmarkOCBSeal(b *testing.B) {
+	sealer, err := sim.NewRandomOCBSealer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct := sealer.Seal(pt)
+		if _, err := sealer.Open(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObliviousSort measures the bitonic sort of 1024 host cells.
+func BenchmarkObliviousSort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := h.MustCreateRegion("s", 1024)
+		for j := int64(0); j < 1024; j++ {
+			if err := cop.Put(id, j, []byte(fmt.Sprintf("%08d", (j*2654435761)%100000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := oblivious.Sort(cop, id, 1024, func(x, y []byte) bool { return string(x) < string(y) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(oblivious.SortTransfers(1024)), "transfers")
+}
+
+// BenchmarkObliviousFilter measures the §5.2.2 decoy filter keeping 64 of
+// 4096 cells.
+func BenchmarkObliviousFilter(b *testing.B) {
+	const omega, mu = 4096, 64
+	delta := oblivious.ChooseDelta(omega, mu)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := h.MustCreateRegion("src", omega)
+		for j := int64(0); j < omega; j++ {
+			cell := []byte{0, 0}
+			if j%64 == 0 {
+				cell[0] = 1
+			}
+			if err := cop.Put(id, j, cell); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := oblivious.Filter(cop, id, omega, mu, delta,
+			func(c []byte) bool { return len(c) > 0 && c[0] == 1 }, fmt.Sprintf("buf%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(oblivious.FilterTransfers(omega, mu, delta)), "transfers")
+}
+
+// BenchmarkOptimalSegment measures the n* solver on setting 1.
+func BenchmarkOptimalSegment(b *testing.B) {
+	var n int64
+	for i := 0; i < b.N; i++ {
+		n = costmodel.OptimalSegment(640_000, 6_400, 64, 1e-20)
+	}
+	b.ReportMetric(float64(n), "nstar")
+}
+
+// BenchmarkMLFSRPermutation measures a full 640k-index random traversal
+// (Algorithm 6's order generator, §5.2.3).
+func BenchmarkMLFSRPermutation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := mlfsr.NewPermutation(640_000, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSMCGarbledPair measures one garbled-circuit equality comparison
+// (16-bit keys) including oblivious transfers — the per-pair unit cost of
+// the SMC baseline that the coprocessor approach beats by orders of
+// magnitude.
+func BenchmarkSMCGarbledPair(b *testing.B) {
+	batch, err := smc.NewOTBatch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	circ, err := smc.EqualityCircuit(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := smc.Garble(circ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := make([]smc.Label, circ.NumInputs())
+		for k := 0; k < 16; k++ {
+			inputs[k], _ = g.InputLabel(k, i&1 == 1)
+			l0, _ := g.InputLabel(16+k, false)
+			l1, _ := g.InputLabel(16+k, true)
+			lab, _, err := batch.Transfer(l0, l1, (i>>1)&1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs[16+k] = lab
+		}
+		if _, err := smc.Evaluate(g.GC, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationSortNetworks compares the two oblivious sorting networks
+// executing on the simulator at n=1024 (see `ppjbench ablation` for the
+// analytic sweep).
+func BenchmarkAblationOddEvenSort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := h.MustCreateRegion("s", 1024)
+		for j := int64(0); j < 1024; j++ {
+			if err := cop.Put(id, j, []byte(fmt.Sprintf("%08d", (j*48271)%99991))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := oblivious.SortOddEven(cop, id, 1024, func(x, y []byte) bool { return string(x) < string(y) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(oblivious.SortOddEvenTransfers(1024)), "transfers")
+	b.ReportMetric(float64(oblivious.SortTransfers(1024)), "bitonic-transfers")
+}
+
+// BenchmarkAblationFilterDelta sweeps the filter swap size around the
+// chosen optimum, demonstrating unimodality on real executions.
+func BenchmarkAblationFilterDelta(b *testing.B) {
+	const omega, mu = 2048, 32
+	chosen := oblivious.ChooseDelta(omega, mu)
+	for _, delta := range []int64{oblivious.NextPow2(mu+1) - mu, chosen, oblivious.NextPow2(omega) - mu} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := sim.NewHost(0)
+				cop, err := sim.NewCoprocessor(h, sim.Config{Sealer: sim.PlainSealer{}, Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				id := h.MustCreateRegion("src", omega)
+				for j := int64(0); j < omega; j++ {
+					cell := []byte{0, 0}
+					if j%(omega/mu) == 0 {
+						cell[0] = 1
+					}
+					if err := cop.Put(id, j, cell); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := oblivious.Filter(cop, id, omega, mu, delta,
+					func(c []byte) bool { return len(c) > 0 && c[0] == 1 }, fmt.Sprintf("b%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(oblivious.FilterTransfers(omega, mu, delta)), "transfers")
+		})
+	}
+}
+
+// BenchmarkAggregate measures the one-pass aggregation extension at
+// L=6400.
+func BenchmarkAggregate(b *testing.B) {
+	relA := relation.GenKeyed(relation.NewRand(9), 80, 20)
+	relB := relation.GenKeyed(relation.NewRand(10), 80, 20)
+	eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := relation.Pairwise(eq)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Memory: 4, Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabA, err := sim.LoadTable(h, cop.Sealer(), "X1", relA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabB, err := sim.LoadTable(h, cop.Sealer(), "X2", relB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := core.Aggregate(cop, []sim.Table{tabA, tabB}, pred, core.AggSpec{Kind: core.AggCount}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.AggregateTransfers([]int64{80, 80})), "transfers")
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"ppj/internal/costmodel"
+)
+
+// runFig41 reproduces the Figure 4.1 performance-relationship map of §4.6:
+// which Chapter 4 algorithm is cheapest as a function of α = N/|B| and
+// γ = ⌈N/M⌉, for general joins and for equijoins.
+func runFig41(out *output) error {
+	const b = 10_000
+	alphas := []float64{1.0 / b, 0.001, 0.01, 0.1, 1}
+	gammas := []int64{1, 2, 3, 4, 5, 8, 16, 64}
+
+	out.printf("|B| = %d; cell shows cheapest algorithm (general join / equijoin)\n\n", int(b))
+	out.printf("%-10s", "alpha\\gam")
+	for _, g := range gammas {
+		out.printf("%14d", g)
+	}
+	out.printf("\n")
+	out.csvRow("alpha", "gamma", "general_winner", "equijoin_winner", "cost1", "cost2", "cost3")
+	for _, a := range alphas {
+		out.printf("%-10.4g", a)
+		for _, g := range gammas {
+			gw := costmodel.Winner(b, a, g, false)
+			ew := costmodel.Winner(b, a, g, true)
+			c1, c2, c3 := costmodel.Ch4Costs(b, a, g)
+			out.printf("%14s", gw+"/"+ew)
+			out.csvRow(a, g, gw, ew, c1, c2, c3)
+		}
+		out.printf("\n")
+	}
+	out.printf("\npaper's claims checked:\n")
+	out.printf("  γ=1: Algorithm 2 dominates (§4.6.1)          -> %v\n",
+		costmodel.Winner(b, 0.001, 1, true) == "Alg2")
+	alphaMin := 1.0 / b
+	thr := 2 + alphaMin + 2*sq(math.Log2(2*alphaMin*b))
+	out.printf("  general-join crossover at γ > %.2f (§4.6.2) -> Alg1 wins at γ=5: %v\n",
+		thr, costmodel.Winner(b, alphaMin, 5, false) == "Alg1")
+	out.printf("  equijoins: Alg3 beats Alg1 for all α (§4.6.3) -> %v\n",
+		costmodel.Winner(b, 1, 64, true) == "Alg3")
+	return nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// runSFE reproduces the §4.6.5 comparison of Algorithm 1 with secure
+// function evaluation, in bits, across α.
+func runSFE(out *output) error {
+	const (
+		b = 10_000
+		w = 64
+	)
+	p := costmodel.DefaultSFEParams()
+	out.printf("|A| = |B| = %d, tuple width w = %d bits, k0=%d k1=%d l=n=%d\n\n",
+		int(b), w, p.K0, p.K1, p.L)
+	out.printf("%-10s %16s %16s %12s\n", "alpha", "SFE (bits)", "Alg1 (bits)", "SFE/Alg1")
+	out.csvRow("alpha", "sfe_bits", "alg1_bits", "ratio")
+	for _, alpha := range []float64{1.0 / b, 0.001, 0.01, 0.1, 1} {
+		n := int64(alpha * b)
+		if n < 1 {
+			n = 1
+		}
+		sfe := costmodel.SFECostBits(p, b, n, w)
+		alg1 := costmodel.Alg1CostBits(b, b, n, w)
+		out.printf("%-10.4g %16.3g %16.3g %12.1f\n", alpha, sfe, alg1, sfe/alg1)
+		out.csvRow(alpha, sfe, alg1, sfe/alg1)
+	}
+	out.printf("\n\"For low values of alpha, it can be seen that SFE can be orders of magnitude slower.\"\n")
+	return nil
+}
+
+// runFig51 reproduces Figure 5.1: Algorithm 5's communication cost as a
+// function of M under L = 640,000 and S = 6,400.
+func runFig51(out *output) error {
+	const l, s = 640_000, 6_400
+	out.printf("L = %d, S = %d\n\n%-8s %16s %10s\n", l, s, "M", "cost (tuples)", "scans")
+	out.csvRow("M", "cost", "scans")
+	for m := int64(1); m <= s; m *= 2 {
+		c := costmodel.Alg5Cost(l, s, m)
+		scans := (s + m - 1) / m
+		out.printf("%-8d %16.0f %10d\n", m, c, scans)
+		out.csvRow(m, c, scans)
+	}
+	out.printf("%-8d %16.0f %10d   (minimum L + S)\n", int64(s), costmodel.Alg5Cost(l, s, s), 1)
+	out.csvRow(s, costmodel.Alg5Cost(l, s, s), 1)
+	return nil
+}
+
+// runFig52 reproduces Figure 5.2: Algorithm 6's cost as a function of ε
+// under setting 1 (L = 640,000, S = 6,400, M = 64).
+func runFig52(out *output) error {
+	const l, s, m = 640_000, 6_400, 64
+	out.printf("L = %d, S = %d, M = %d\n\n", l, s, m)
+	out.printf("%-10s %10s %10s %16s\n", "epsilon", "n*", "segments", "cost (tuples)")
+	out.csvRow("epsilon_exp", "nstar", "segments", "cost")
+	for exp := -60; exp <= -5; exp += 5 {
+		eps := math.Pow(10, float64(exp))
+		br := costmodel.Alg6Cost(l, s, m, eps)
+		out.printf("%-10.0e %10d %10d %16.0f\n", eps, br.NStar, br.Segments, br.Total)
+		out.csvRow(exp, br.NStar, br.Segments, br.Total)
+	}
+	d1 := costmodel.Alg6Cost(l, s, m, 1e-60).Total - costmodel.Alg6Cost(l, s, m, 1e-50).Total
+	d2 := costmodel.Alg6Cost(l, s, m, 1e-20).Total - costmodel.Alg6Cost(l, s, m, 1e-10).Total
+	out.printf("\ncost reduction 1e-60 -> 1e-50: %.3g; 1e-20 -> 1e-10: %.3g\n", d1, d2)
+	out.printf("(trading privacy is more profitable when epsilon is small, §5.3.3)\n")
+	return nil
+}
+
+// runFig53 reproduces Figure 5.3: Algorithm 6's cost as a function of M
+// under L = 640,000, S = 6,400, ε = 10⁻²⁰.
+func runFig53(out *output) error {
+	const l, s = 640_000, 6_400
+	const eps = 1e-20
+	out.printf("L = %d, S = %d, epsilon = %.0e\n\n", l, s, eps)
+	out.printf("%-8s %10s %10s %16s\n", "M", "n*", "segments", "cost (tuples)")
+	out.csvRow("M", "nstar", "segments", "cost")
+	for m := int64(16); m < s; m *= 2 {
+		br := costmodel.Alg6Cost(l, s, m, eps)
+		out.printf("%-8d %10d %10d %16.0f\n", m, br.NStar, br.Segments, br.Total)
+		out.csvRow(m, br.NStar, br.Segments, br.Total)
+	}
+	br := costmodel.Alg6Cost(l, s, s, eps)
+	out.printf("%-8d %10d %10d %16.0f   (M >= S: minimum L + S)\n", int64(s), br.NStar, br.Segments, br.Total)
+	out.csvRow(s, br.NStar, br.Segments, br.Total)
+	return nil
+}
+
+// runFig54 reproduces Figure 5.4: Algorithm 6's cost (log10) versus ε under
+// all three Table 5.2 settings.
+func runFig54(out *output) error {
+	settings := costmodel.Settings()
+	out.printf("%-10s", "epsilon")
+	for _, st := range settings {
+		out.printf("%22s", st.Name)
+	}
+	out.printf("\n")
+	out.csvRow("epsilon_exp", "setting1_log10", "setting2_log10", "setting3_log10")
+	for exp := -60; exp <= -5; exp += 5 {
+		eps := math.Pow(10, float64(exp))
+		out.printf("%-10.0e", eps)
+		row := []any{exp}
+		for _, st := range settings {
+			c := costmodel.Alg6Cost(st.L, st.S, st.M, eps).Total
+			out.printf("%14.0f (10^%.2f)", c, math.Log10(c))
+			row = append(row, fmt.Sprintf("%.4f", math.Log10(c)))
+		}
+		out.printf("\n")
+		out.csvRow(row...)
+	}
+	out.printf("\nsetting 1 (small M) responds most to epsilon tuning (§5.4).\n")
+	return nil
+}

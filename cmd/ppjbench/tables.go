@@ -1,0 +1,124 @@
+package main
+
+import (
+	"ppj/internal/costmodel"
+)
+
+// runTable51 renders Table 5.1: the privacy level and communication cost of
+// Algorithms 4, 5 and 6, with the closed forms instantiated at setting 1 so
+// the magnitudes are visible next to the formulas.
+func runTable51(out *output) error {
+	st := costmodel.Settings()[0]
+	eps := 1e-20
+	out.printf("instantiated at %s (L=%d, S=%d, M=%d), Algorithm 6 at eps=%.0e\n\n",
+		st.Name, st.L, st.S, st.M, eps)
+	out.printf("%-6s %-22s %-52s %16s\n", "alg", "privacy level", "communication cost formula", "value")
+	out.csvRow("alg", "privacy", "value")
+
+	a4 := costmodel.Alg4Cost(st.L, st.S)
+	out.printf("%-6s %-22s %-52s %16.3g\n", "4", "100%",
+		"2L + ((L-S)/D*)(S+D*)[log2(S+D*)]^2", a4)
+	out.csvRow(4, 1.0, a4)
+
+	a5 := costmodel.Alg5Cost(st.L, st.S, st.M)
+	out.printf("%-6s %-22s %-52s %16.3g\n", "5", "100%",
+		"S + ceil(S/M)L", a5)
+	out.csvRow(5, 1.0, a5)
+
+	a6 := costmodel.Alg6Cost(st.L, st.S, st.M, eps)
+	out.printf("%-6s %-22s %-52s %16.3g\n", "6", "(1-eps)x100%",
+		"2L + ceil(L/n*)M + filter(ceil(L/n*)M, S)", a6.Total)
+	out.csvRow(6, 1-eps, a6.Total)
+	return nil
+}
+
+// runTable52 renders Table 5.2, the three experimental settings.
+func runTable52(out *output) error {
+	out.printf("%-12s %12s %12s %8s\n", "", "L", "S", "M")
+	out.csvRow("setting", "L", "S", "M")
+	for _, st := range costmodel.Settings() {
+		out.printf("%-12s %12d %12d %8d\n", st.Name, st.L, st.S, st.M)
+		out.csvRow(st.Name, st.L, st.S, st.M)
+	}
+	out.printf("\nsetting 2 has 4x setting 1's memory; setting 3 scales L and S by 4 at setting 2's memory.\n")
+	return nil
+}
+
+// runTable53 renders Table 5.3: the communication costs of the reference
+// SMC algorithm and Algorithms 4, 5 and 6 under each setting, plus the
+// cost-reduction row. Paper values are printed alongside for comparison.
+func runTable53(out *output) error {
+	settings := costmodel.Settings()
+	paper := map[string][]float64{
+		"SMC":         {1.1e10, 1.1e10, 4.5e10},
+		"4":           {2.3e8, 2.3e8, 1.2e9},
+		"5":           {6.4e7, 1.6e7, 2.6e8},
+		"6 (1e-20)":   {7.4e6, 3.4e6, 1.8e7},
+		"6 (1e-10)":   {4.6e6, 2.8e6, 1.5e7},
+		"reduction %": {88, 79, 93},
+	}
+	rows := []struct {
+		name string
+		calc func(st costmodel.Setting) float64
+	}{
+		{"SMC", func(st costmodel.Setting) float64 {
+			return costmodel.SMCCost(costmodel.DefaultSMCParams(), st.L, st.S)
+		}},
+		{"4", func(st costmodel.Setting) float64 { return costmodel.Alg4Cost(st.L, st.S) }},
+		{"5", func(st costmodel.Setting) float64 { return costmodel.Alg5Cost(st.L, st.S, st.M) }},
+		{"6 (1e-20)", func(st costmodel.Setting) float64 {
+			return costmodel.Alg6Cost(st.L, st.S, st.M, 1e-20).Total
+		}},
+		{"6 (1e-10)", func(st costmodel.Setting) float64 {
+			return costmodel.Alg6Cost(st.L, st.S, st.M, 1e-10).Total
+		}},
+		{"reduction %", func(st costmodel.Setting) float64 {
+			a5 := costmodel.Alg5Cost(st.L, st.S, st.M)
+			a6 := costmodel.Alg6Cost(st.L, st.S, st.M, 1e-20).Total
+			return 100 * (1 - a6/a5)
+		}},
+	}
+	out.printf("%-14s", "")
+	for _, st := range settings {
+		out.printf("%24s", st.Name)
+	}
+	out.printf("\n")
+	out.csvRow("row", "setting1", "setting1_paper", "setting2", "setting2_paper", "setting3", "setting3_paper")
+	for _, r := range rows {
+		out.printf("%-14s", r.name)
+		csv := []any{r.name}
+		for i, st := range settings {
+			v := r.calc(st)
+			out.printf("%12.3g (p:%7.2g)", v, paper[r.name][i])
+			csv = append(csv, v, paper[r.name][i])
+		}
+		out.printf("\n")
+		out.csvRow(csv...)
+	}
+	out.printf("\n(p: value printed in the thesis. Algorithm 4/6 differ by the exact-optimal\n")
+	out.printf("swap size D*; Algorithm 5, SMC, and every ordering match the paper.)\n")
+	return nil
+}
+
+// runHardware translates Table 5.3 into estimated wall-clock time on the
+// two coprocessor generations the paper names (§1.1), addressing the
+// final future-work item ("study the real performance") with a calibrated
+// estimate in place of hardware we do not have.
+func runHardware(out *output) error {
+	const tupleBytes = 64
+	out.printf("estimated wall-clock for Table 5.3, %d-byte tuples\n\n", tupleBytes)
+	out.csvRow("profile", "setting", "smc_s", "alg4_s", "alg5_s", "alg6_s")
+	for _, profile := range []costmodel.DeviceProfile{costmodel.IBM4758(), costmodel.IBM4764()} {
+		out.printf("%s (%d MB protected memory, %.0f s/1e6 transfers)\n",
+			profile.Name, profile.MemoryBytes>>20, profile.EstimateSeconds(1e6, tupleBytes))
+		out.printf("  %-12s %12s %12s %12s %14s\n", "", "SMC", "Alg 4", "Alg 5", "Alg 6 (1e-20)")
+		for _, e := range costmodel.EstimateTable(profile, tupleBytes) {
+			out.printf("  %-12s %11.0fs %11.0fs %11.0fs %13.1fs\n",
+				e.Setting.Name, e.SMCSec, e.Alg4Sec, e.Alg5Sec, e.Alg6Sec)
+			out.csvRow(profile.Name, e.Setting.Name, e.SMCSec, e.Alg4Sec, e.Alg5Sec, e.Alg6Sec)
+		}
+	}
+	out.printf("\nAlgorithm 6 is interactive-scale on either device; SMC is hours even\n")
+	out.printf("ignoring its public-key operations (the estimate charges only transfers).\n")
+	return nil
+}

@@ -1,0 +1,62 @@
+package ppj
+
+import "ppj/internal/costmodel"
+
+// This file re-exports the paper's analytic cost model — the closed forms
+// behind every table and figure of the evaluation (§4.6, §5.4).
+
+// CostSetting is one (L, S, M) column of Table 5.2.
+type CostSetting = costmodel.Setting
+
+// Alg6CostBreakdown carries the components of Eqn 5.7.
+type Alg6CostBreakdown = costmodel.Alg6Breakdown
+
+// PaperSettings returns the three experimental settings of Table 5.2.
+func PaperSettings() []CostSetting { return costmodel.Settings() }
+
+// CostAlg1 is Algorithm 1's transfer cost: |A| + 2N|A| + 2|A||B| +
+// 2|A||B|(log₂ 2N)².
+func CostAlg1(a, b, n int64) float64 { return costmodel.Alg1Cost(a, b, n) }
+
+// CostAlg2 is Algorithm 2's transfer cost: |A| + N|A| + γ|A||B|.
+func CostAlg2(a, b, n, m int64) float64 { return costmodel.Alg2Cost(a, b, n, m) }
+
+// CostAlg3 is Algorithm 3's transfer cost: |A| + |A|N + |B|(log₂|B|)² +
+// 3|A||B| (the sort term dropped when preSorted).
+func CostAlg3(a, b, n int64, preSorted bool) float64 {
+	return costmodel.Alg3Cost(a, b, n, preSorted)
+}
+
+// CostAlg4 is Algorithm 4's communication cost (Eqn 5.2).
+func CostAlg4(l, s int64) float64 { return costmodel.Alg4Cost(l, s) }
+
+// CostAlg5 is Algorithm 5's communication cost (Eqn 5.3): S + ⌈S/M⌉L.
+func CostAlg5(l, s, m int64) float64 { return costmodel.Alg5Cost(l, s, m) }
+
+// CostAlg6 evaluates Eqn 5.7 at privacy level 1−ε.
+func CostAlg6(l, s, m int64, eps float64) Alg6CostBreakdown {
+	return costmodel.Alg6Cost(l, s, m, eps)
+}
+
+// CostSMC is the reference secure-multi-party-computation cost (Eqn 5.8)
+// with the paper's §5.4 parameters.
+func CostSMC(l, s int64) float64 {
+	return costmodel.SMCCost(costmodel.DefaultSMCParams(), l, s)
+}
+
+// OptimalSegment computes Algorithm 6's n*: the largest segment size whose
+// blemish probability bound stays within ε (Eqn 5.6).
+func OptimalSegment(l, s, m int64, eps float64) int64 {
+	return costmodel.OptimalSegment(l, s, m, eps)
+}
+
+// BlemishBound is P_M(n), the union bound on any segment exceeding M
+// results (Eqn 5.5, computed exactly in log space).
+func BlemishBound(l, s, m, n int64) float64 {
+	return costmodel.BlemishBound(l, s, m, n)
+}
+
+// Ch4Winner labels the cheapest Chapter 4 algorithm for the Figure 4.1 map.
+func Ch4Winner(b int64, alpha float64, gamma int64, equijoin bool) string {
+	return costmodel.Winner(b, alpha, gamma, equijoin)
+}

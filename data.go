@@ -1,0 +1,66 @@
+package ppj
+
+import "ppj/internal/relation"
+
+// This file re-exports the synthetic workload generators modelled on the
+// paper's motivating applications (Chapter 1): watch lists vs. passenger
+// manifests, and gene-bank sequences vs. patient records.
+
+// Rand is the deterministic random source consumed by the generators.
+type Rand = relation.Rand
+
+// NewRand returns a deterministic generator for a seed.
+func NewRand(seed uint64) Rand { return relation.NewRand(seed) }
+
+// PersonSchema is the watch-list schema: (id, name, dob, passport).
+func PersonSchema() *Schema { return relation.PersonSchema() }
+
+// GenPersons synthesises n person records with ids uniform in [0, idSpace).
+func GenPersons(rng Rand, n int, idSpace int64) *Relation {
+	return relation.GenPersons(rng, n, idSpace)
+}
+
+// SequenceSchema is the genomics schema: (seqid, kmers set[k]).
+func SequenceSchema(k int) *Schema { return relation.SequenceSchema(k) }
+
+// GenSequences synthesises n k-mer sets of cardinality card over a
+// vocabulary of vocab shingles.
+func GenSequences(rng Rand, n, card, capacity int, vocab uint32) *Relation {
+	return relation.GenSequences(rng, n, card, capacity, vocab)
+}
+
+// KeyedSchema is the minimal (key, payload) schema.
+func KeyedSchema() *Schema { return relation.KeyedSchema() }
+
+// GenKeyed synthesises n rows with keys uniform in [0, keySpace).
+func GenKeyed(rng Rand, n int, keySpace int64) *Relation {
+	return relation.GenKeyed(rng, n, keySpace)
+}
+
+// GenKeyedZipf synthesises n rows with Zipf(s)-distributed keys.
+func GenKeyedZipf(rng Rand, n int, keySpace int64, s float64) *Relation {
+	return relation.GenKeyedZipf(rng, n, keySpace, s)
+}
+
+// Value constructors.
+var (
+	IntValue    = relation.IntValue
+	FloatValue  = relation.FloatValue
+	StringValue = relation.StringValue
+	BytesValue  = relation.BytesValue
+	SetValue    = relation.SetValue
+)
+
+// PredicateFunc adapts an arbitrary function into a 2-way join predicate,
+// the paper's "arbitrary predicates" in their most general form.
+type PredicateFunc = relation.PredicateFunc
+
+// MultiPredicateFunc adapts an arbitrary function into a J-way predicate.
+type MultiPredicateFunc = relation.MultiPredicateFunc
+
+// ReadCSV parses a CSV stream (header row, inferred column types) into a
+// relation.
+var ReadCSV = relation.ReadCSV
+
+// WriteCSV renders a relation as CSV with a header row.
+var WriteCSV = relation.WriteCSV

@@ -1,0 +1,78 @@
+package ppj_test
+
+import (
+	"fmt"
+	"log"
+
+	"ppj"
+)
+
+// ExampleEngine demonstrates the core flow: load two encrypted relations,
+// join them privately, decode as the recipient.
+func ExampleEngine() {
+	relA := ppj.NewRelation(ppj.KeyedSchema())
+	relB := ppj.NewRelation(ppj.KeyedSchema())
+	for i := int64(0); i < 4; i++ {
+		relA.MustAppend(ppj.Tuple{ppj.IntValue(i), ppj.IntValue(100 + i)})
+		relB.MustAppend(ppj.Tuple{ppj.IntValue(i * 2), ppj.IntValue(200 + i)})
+	}
+
+	eng, err := ppj.NewEngine(ppj.EngineConfig{Memory: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ta, _ := eng.Load("A", relA)
+	tb, _ := eng.Load("B", relB)
+	pred, _ := ppj.Equijoin(relA.Schema, "key", relB.Schema, "key")
+	res, err := eng.Join(ppj.Alg5, []ppj.TableRef{ta, tb}, ppj.Pairwise(pred), ppj.JoinOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, _ := eng.Decode(res)
+	fmt.Println("join size:", rows.Len())
+	// Output: join size: 2
+}
+
+// ExamplePlanQuery shows the planner picking an algorithm from the paper's
+// performance analysis without running the join.
+func ExamplePlanQuery() {
+	relA := ppj.GenKeyed(ppj.NewRand(1), 10, 5)
+	relB := ppj.GenKeyed(ppj.NewRand(2), 12, 5)
+	pred, _ := ppj.Equijoin(relA.Schema, "key", relB.Schema, "key")
+	plan, err := ppj.PlanQuery(ppj.Query{Predicate: pred, Mode: ppj.OutputExact},
+		[]*ppj.Relation{relA, relB}, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("algorithm:", plan.Algorithm)
+	// Output: algorithm: 5
+}
+
+// ExampleEngine_Aggregate computes a statistic over a join without ever
+// materialising the joined rows.
+func ExampleEngine_Aggregate() {
+	relA := ppj.NewRelation(ppj.KeyedSchema())
+	relB := ppj.NewRelation(ppj.KeyedSchema())
+	for i := int64(0); i < 5; i++ {
+		relA.MustAppend(ppj.Tuple{ppj.IntValue(i), ppj.IntValue(10 * i)})
+		relB.MustAppend(ppj.Tuple{ppj.IntValue(i), ppj.IntValue(0)})
+	}
+	eng, _ := ppj.NewEngine(ppj.EngineConfig{Memory: 4, Seed: 1})
+	ta, _ := eng.Load("A", relA)
+	tb, _ := eng.Load("B", relB)
+	pred, _ := ppj.Equijoin(relA.Schema, "key", relB.Schema, "key")
+	res, err := eng.Aggregate([]ppj.TableRef{ta, tb}, ppj.Pairwise(pred),
+		ppj.AggSpec{Kind: ppj.AggSum, Table: 0, Attr: "payload"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SUM:", res.Value)
+	// Output: SUM: 100
+}
+
+// ExampleCostAlg5 evaluates the paper's closed-form cost for Algorithm 5 at
+// Table 5.2's setting 1.
+func ExampleCostAlg5() {
+	fmt.Printf("%.3g\n", ppj.CostAlg5(640000, 6400, 64))
+	// Output: 6.4e+07
+}

@@ -1,0 +1,3 @@
+module ppj
+
+go 1.24

@@ -1,0 +1,165 @@
+// Package adversary implements the paper's honest-but-curious observer: a
+// party (typically the host H itself, §3.3) that sees every interaction
+// between H and T plus all ciphertext in H's memory, but cannot see inside
+// T. Its extractors turn the access patterns of the UNSAFE join designs of
+// §3.4 and §4.5.1 into the forbidden statistics the paper says they leak —
+// making the negative results executable. Against the safe algorithms the
+// only available attack is trace comparison, and the core package's privacy
+// tests show those traces are input-independent.
+package adversary
+
+import (
+	"ppj/internal/sim"
+)
+
+// Distinguish reports whether two access sequences differ — the basic test
+// underlying Definitions 1 and 3 (identical distribution collapses, for the
+// deterministic-given-seed algorithms, to trace equality).
+func Distinguish(a, b *sim.Trace) bool {
+	return !a.Equal(b)
+}
+
+// MatchMatrixFromNestedLoop attacks the straightforward nested loop of
+// §3.4.1: "An adversary can easily determine which encrypted tuples of A
+// joined with which tuples of B, simply by observing whether T outputted a
+// result tuple before the read request for the next B tuple." It replays
+// the event stream and returns the (aIndex, bIndex) pairs that joined.
+func MatchMatrixFromNestedLoop(events []sim.Event, regA, regB, regOut sim.RegionID) [][2]int64 {
+	var pairs [][2]int64
+	curA, curB := int64(-1), int64(-1)
+	for _, e := range events {
+		switch {
+		case e.Op == sim.OpGet && e.Region == regA:
+			curA, curB = e.Index, -1
+		case e.Op == sim.OpGet && e.Region == regB:
+			curB = e.Index
+		case e.Op == sim.OpPut && e.Region == regOut && curA >= 0 && curB >= 0:
+			pairs = append(pairs, [2]int64{curA, curB})
+		}
+	}
+	return pairs
+}
+
+// OutputBurstsPerOuter attacks the blocked variant of §3.4.2: it counts the
+// output puts observed while each outer (A) tuple was current. Even with
+// blocking, the burst positions "estimate the distribution of matches":
+// block flushes land inside the outer iteration that filled them.
+func OutputBurstsPerOuter(events []sim.Event, regA, regOut sim.RegionID, nA int64) []int64 {
+	counts := make([]int64, nA)
+	curA := int64(-1)
+	for _, e := range events {
+		switch {
+		case e.Op == sim.OpGet && e.Region == regA:
+			curA = e.Index
+		case e.Op == sim.OpPut && e.Region == regOut && curA >= 0 && curA < nA:
+			counts[curA]++
+		}
+	}
+	return counts
+}
+
+// InnerReadsPerOuter attacks the sort-merge join of §4.5.1: the number of B
+// reads consumed while each A tuple is current reveals (up to the pointer
+// advance) how many B tuples matched it. events should be the merge-phase
+// suffix of the trace; the oblivious-sort prelude has a publicly computable
+// length, so the adversary can always locate it (see SkipPrefix).
+func InnerReadsPerOuter(events []sim.Event, regA, regB sim.RegionID, nA int64) []int64 {
+	counts := make([]int64, nA)
+	cur := int64(-1)
+	for _, e := range events {
+		if e.Op != sim.OpGet {
+			continue
+		}
+		switch e.Region {
+		case regA:
+			cur = e.Index
+		case regB:
+			if cur >= 0 && cur < nA {
+				counts[cur]++
+			}
+		}
+	}
+	return counts
+}
+
+// ReadsBetweenFlushes attacks the grace-hash partitioning of §4.5.1: it
+// returns, for each bucket-flush burst, how many input reads preceded it
+// since the previous burst. "By observing the difference in the number of
+// tuples T reads between writes, an adversary may learn partial information
+// about the distribution of the values of the join attribute."
+func ReadsBetweenFlushes(events []sim.Event, regIn, regOut sim.RegionID) []int64 {
+	var gaps []int64
+	var reads int64
+	inBurst := false
+	for _, e := range events {
+		switch {
+		case e.Op == sim.OpGet && e.Region == regIn:
+			reads++
+			inBurst = false
+		case e.Op == sim.OpPut && e.Region == regOut:
+			if !inBurst {
+				gaps = append(gaps, reads)
+				reads = 0
+				inBurst = true
+			}
+		}
+	}
+	return gaps
+}
+
+// DuplicateHistogram attacks the commutative-encryption design of §4.5.1:
+// deterministic tags let H count how often each (hidden) join-attribute
+// value occurs. It returns the multiplicity histogram of a tag region —
+// exactly "the distribution of the duplicates".
+func DuplicateHistogram(h *sim.Host, tags sim.RegionID, n int64) map[int64]int64 {
+	counts := make(map[string]int64)
+	for i := int64(0); i < n; i++ {
+		counts[string(h.Inspect(tags, i))]++
+	}
+	hist := make(map[int64]int64)
+	for _, c := range counts {
+		hist[c]++
+	}
+	return hist
+}
+
+// SkipPrefix drops the first n events: used to discard a publicly-sized
+// prelude (such as an oblivious sort, whose event count is a function of
+// the public input sizes only).
+func SkipPrefix(events []sim.Event, n int64) []sim.Event {
+	if n >= int64(len(events)) {
+		return nil
+	}
+	return events[n:]
+}
+
+// Advantage estimates the empirical distinguishing advantage of the
+// trace-comparison adversary: over trials rounds, world A and world B each
+// produce a trace, and the adversary guesses which world it is in by
+// comparing against a reference trace from world A. For a privacy
+// preserving algorithm (identical traces) the advantage is 0; for the
+// unsafe designs it approaches 1. This makes Definitions 1/3's
+// "identically distributed" quantitative for the test suite.
+func Advantage(worldA, worldB func(trial int) *sim.Trace, trials int) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < trials; i++ {
+		ref := worldA(i)
+		// A fair coin decides which world the challenge comes from;
+		// derandomised across trials for reproducibility.
+		fromB := i%2 == 1
+		var challenge *sim.Trace
+		if fromB {
+			challenge = worldB(i)
+		} else {
+			challenge = worldA(i + trials) // fresh run of world A
+		}
+		guessB := !ref.Equal(challenge)
+		if guessB == fromB {
+			correct++
+		}
+	}
+	return 2*float64(correct)/float64(trials) - 1
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"ppj/internal/oblivious"
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// Join1 runs Algorithm 1 (§4.4.1), the general join for secure coprocessors
+// with small memories. For every a ∈ A it streams B in rounds of N tuples,
+// writing one oTuple (a real join or a decoy) per comparison into the second
+// half of a 2N-cell scratch array on the host, and obliviously sorting the
+// array after every round with real tuples given priority. Because N is the
+// maximum number of B tuples joining any a, all real results accumulate in
+// the first N cells, which H persists as the output for a. The output is
+// therefore exactly N·|A| oTuples, and every host access is a function of
+// (|A|, |B|, N) alone.
+//
+// N must be a correct upper bound on the per-tuple match count
+// (relation.MaxMatches computes it exactly; the paper notes a safe N can be
+// found by a nested loop pass that outputs nothing, §4.3).
+func Join1(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64) (Result, error) {
+	if err := validateCh4(a, b, n); err != nil {
+		return Result{}, err
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	// Algorithm 1 keeps only the current A tuple and the oTuple under
+	// construction inside T — the uncharged "+2" staging slots of §4.1.
+	// Scratch lives on the host, so no device memory is granted.
+	t.ResetStats()
+
+	host := t.Host()
+	scratch := host.FreshRegion("alg1.scratch", int(2*n))
+	out := host.FreshRegion("alg1.out", int(n*a.N))
+	payloadSize := outSchema.TupleSize()
+
+	for ai := int64(0); ai < a.N; ai++ {
+		// put 2N encrypted decoy tuples to scratch[].
+		for j := int64(0); j < 2*n; j++ {
+			if err := t.Put(scratch, j, wrapDecoy(payloadSize)); err != nil {
+				return Result{}, err
+			}
+		}
+		aT, err := t.GetTuple(a, ai)
+		if err != nil {
+			return Result{}, err
+		}
+		i := int64(0)
+		for bi := int64(0); bi < b.N; bi++ {
+			bT, err := t.GetTuple(b, bi)
+			if err != nil {
+				return Result{}, err
+			}
+			t.ChargePredicate()
+			var cell []byte
+			if pred.Match(aT, bT) {
+				payload, err := joinPayload(outSchema, aT, bT)
+				if err != nil {
+					return Result{}, err
+				}
+				cell = wrapReal(payload)
+			} else {
+				cell = wrapDecoy(payloadSize)
+			}
+			if err := t.Put(scratch, (i%n)+n, cell); err != nil {
+				return Result{}, err
+			}
+			i++
+			if i%n == 0 {
+				if err := oblivious.Sort(t, scratch, 2*n, oTupleFirst); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if i%n != 0 {
+			if err := oblivious.Sort(t, scratch, 2*n, oTupleFirst); err != nil {
+				return Result{}, err
+			}
+		}
+		// Request H to write the first N cells of scratch[] to disk.
+		if err := t.RequestCopyOut(out, ai*n, scratch, 0, n); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: n * a.N, Schema: outSchema},
+		OutputLen: n * a.N,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+// Join1Transfers is the exact transfer count of this implementation of
+// Algorithm 1, the measured analogue of the paper's
+// |A| + 2N|A| + 2|A||B| + 2|A||B|(log₂ 2N)² (which assumes 2N is a power of
+// two and approximates the bitonic comparator count).
+func Join1Transfers(aN, bN, n int64) int64 {
+	sortsPerA := bN / n
+	if bN%n != 0 {
+		sortsPerA++
+	}
+	perA := 2*n + // initial decoys
+		1 + // get a  (amortised below by multiplying |A|)
+		2*bN + // get b + put scratch per B tuple
+		sortsPerA*oblivious.SortTransfers(2*n)
+	return aN * perA
+}
+
+// Join1Variant runs the §4.4.2 variant: for each a ∈ A it writes all |B|
+// oTuples to host memory and performs a single oblivious sort of |B| cells,
+// keeping the first N. Dominated by Algorithm 1 for small α = N/|B|;
+// implemented for the performance-relationship experiments.
+func Join1Variant(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64) (Result, error) {
+	if err := validateCh4(a, b, n); err != nil {
+		return Result{}, err
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	t.ResetStats()
+
+	host := t.Host()
+	scratch := host.FreshRegion("alg1v.scratch", int(b.N))
+	out := host.FreshRegion("alg1v.out", int(n*a.N))
+	payloadSize := outSchema.TupleSize()
+
+	for ai := int64(0); ai < a.N; ai++ {
+		aT, err := t.GetTuple(a, ai)
+		if err != nil {
+			return Result{}, err
+		}
+		for bi := int64(0); bi < b.N; bi++ {
+			bT, err := t.GetTuple(b, bi)
+			if err != nil {
+				return Result{}, err
+			}
+			t.ChargePredicate()
+			var cell []byte
+			if pred.Match(aT, bT) {
+				payload, err := joinPayload(outSchema, aT, bT)
+				if err != nil {
+					return Result{}, err
+				}
+				cell = wrapReal(payload)
+			} else {
+				cell = wrapDecoy(payloadSize)
+			}
+			if err := t.Put(scratch, bi, cell); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := oblivious.Sort(t, scratch, b.N, oTupleFirst); err != nil {
+			return Result{}, err
+		}
+		if err := t.RequestCopyOut(out, ai*n, scratch, 0, n); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: n * a.N, Schema: outSchema},
+		OutputLen: n * a.N,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+func validateCh4(a, b sim.Table, n int64) error {
+	if a.N <= 0 || b.N <= 0 {
+		return fmt.Errorf("%w: empty input relation", errInvalid)
+	}
+	if n <= 0 {
+		return fmt.Errorf("%w: match bound N must be positive (use relation.MaxMatches, or 1 when no tuple matches)", errInvalid)
+	}
+	if n > b.N {
+		return fmt.Errorf("%w: match bound N=%d exceeds |B|=%d", errInvalid, n, b.N)
+	}
+	return nil
+}

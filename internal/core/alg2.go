@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// Join2 runs Algorithm 2 (§4.4.3), the general join for secure coprocessors
+// with larger memories. For every a ∈ A it scans B a total of
+// γ = max(1, ⌈N/(M−δ)⌉) times; pass i collects the i-th group of ⌈N/γ⌉
+// matching tuples in T's memory and flushes exactly that many oTuples
+// (padded with decoys) at the end of the pass. Unlike a blocked nested loop,
+// the partitioning is over the matched tuples, not the input (§4.4.3).
+//
+// delta is the §4.4.3 bookkeeping allowance δ (memory reserved for counters
+// and the current input tuples); the usable result buffer is M−delta tuples.
+func Join2(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64, delta int64) (Result, error) {
+	if err := validateCh4(a, b, n); err != nil {
+		return Result{}, err
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	usable := int64(t.Memory()) - delta
+	if usable < 1 {
+		return Result{}, fmt.Errorf("%w: no memory left after δ=%d of M=%d", errInvalid, delta, t.Memory())
+	}
+	gamma := (n + usable - 1) / usable
+	if gamma < 1 {
+		gamma = 1
+	}
+	blk := (n + gamma - 1) / gamma
+
+	release, err := t.Grant(int(blk))
+	if err != nil {
+		return Result{}, fmt.Errorf("core: algorithm 2: %w", err)
+	}
+	defer release()
+	t.ResetStats()
+
+	host := t.Host()
+	out := host.FreshRegion("alg2.out", int(gamma*blk*a.N))
+	payloadSize := outSchema.TupleSize()
+	outPos := int64(0)
+
+	for ai := int64(0); ai < a.N; ai++ {
+		aT, err := t.GetTuple(a, ai)
+		if err != nil {
+			return Result{}, err
+		}
+		last := int64(-1) // position of the last matched B tuple
+		for pass := int64(0); pass < gamma; pass++ {
+			joined := make([][]byte, 0, blk) // lives in T's memory (Granted)
+			current := int64(0)
+			for bi := int64(0); bi < b.N; bi++ {
+				bT, err := t.GetTuple(b, bi)
+				if err != nil {
+					return Result{}, err
+				}
+				// The predicate is evaluated for every tuple regardless of
+				// whether the result can still be stored (Fixed Time).
+				t.ChargePredicate()
+				matched := pred.Match(aT, bT)
+				if current > last && int64(len(joined)) < blk && matched {
+					payload, err := joinPayload(outSchema, aT, bT)
+					if err != nil {
+						return Result{}, err
+					}
+					joined = append(joined, wrapReal(payload))
+					last = current
+				}
+				current++
+			}
+			// Pad to blk and flush: the output per pass has fixed size.
+			for int64(len(joined)) < blk {
+				joined = append(joined, wrapDecoy(payloadSize))
+			}
+			for _, cell := range joined {
+				if err := t.Put(out, outPos, cell); err != nil {
+					return Result{}, err
+				}
+				outPos++
+			}
+			if err := t.RequestDisk(out, outPos-blk, blk); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: outPos, Schema: outSchema},
+		OutputLen: outPos,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+// Join2Transfers is the exact transfer count of this implementation:
+// |A|·(1 + γ·|B| + γ·blk), the measured analogue of the paper's
+// |A| + N|A| + γ|A||B| (which writes γ·blk ≈ N).
+func Join2Transfers(aN, bN, n, m, delta int64) int64 {
+	usable := m - delta
+	gamma := (n + usable - 1) / usable
+	if gamma < 1 {
+		gamma = 1
+	}
+	blk := (n + gamma - 1) / gamma
+	return aN * (1 + gamma*bN + gamma*blk)
+}
+
+// Gamma2 exposes the pass count Algorithm 2 would use for a given N, M, δ.
+func Gamma2(n, m, delta int64) int64 {
+	usable := m - delta
+	if usable < 1 {
+		return 0
+	}
+	g := (n + usable - 1) / usable
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

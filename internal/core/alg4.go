@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"ppj/internal/oblivious"
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// Join4 runs Algorithm 4 (§5.3.1), the J-way general join for secure
+// coprocessors with small memory. T reads the L iTuples of
+// D = X₁ × … × X_J in a fixed sequential order and writes exactly one
+// oTuple per iTuple — the join result when satisfy() holds, a decoy
+// otherwise. The L oTuples are then obliviously filtered (§5.2.2) so the
+// output holds exactly the S real results, S being public under
+// Definition 3. The communication pattern is a function of (L, S) alone.
+//
+// It needs only two tuples of device memory and does not benefit from more.
+func Join4(t *sim.Coprocessor, tables []sim.Table, pred relation.MultiPredicate) (Result, error) {
+	outSchema, cart, err := prepCh5(t, tables)
+	if err != nil {
+		return Result{}, err
+	}
+	t.ResetStats()
+
+	host := t.Host()
+	l := cart.Size()
+	raw := host.FreshRegion("alg4.raw", int(l))
+	payloadSize := outSchema.TupleSize()
+
+	var s int64
+	for i := int64(0); i < l; i++ {
+		row, err := cart.Read(i)
+		if err != nil {
+			return Result{}, err
+		}
+		t.ChargePredicate()
+		var cell []byte
+		if pred.Satisfy(row) {
+			payload, err := joinPayload(outSchema, row...)
+			if err != nil {
+				return Result{}, err
+			}
+			cell = wrapReal(payload)
+			s++
+		} else {
+			cell = wrapDecoy(payloadSize)
+		}
+		if err := t.Put(raw, i, cell); err != nil {
+			return Result{}, err
+		}
+	}
+
+	out, err := filterDecoys(t, raw, l, s, "alg4.out")
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
+		OutputLen: s,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+// filterDecoys obliviously reduces omega oTuple cells to the s real results
+// using the §5.2.2 repeated-buffer filter with the implementation-optimal
+// swap size. With s = 0 it returns an empty region (the empty output is
+// public); with omega == s no filtering is needed.
+func filterDecoys(t *sim.Coprocessor, raw sim.RegionID, omega, s int64, name string) (sim.RegionID, error) {
+	host := t.Host()
+	if s == 0 {
+		return host.FreshRegion(name, 0), nil
+	}
+	if omega == s {
+		out := host.FreshRegion(name, int(s))
+		if err := t.RequestCopyOut(out, 0, raw, 0, s); err != nil {
+			return 0, err
+		}
+		return out, nil
+	}
+	delta := oblivious.ChooseDelta(omega, s)
+	buf, err := oblivious.Filter(t, raw, omega, s, delta, IsReal, name+".buf")
+	if err != nil {
+		return 0, err
+	}
+	out := host.FreshRegion(name, int(s))
+	if err := t.RequestCopyOut(out, 0, buf, 0, s); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// Join4Transfers is the exact transfer count of this implementation, the
+// measured analogue of Eqn 5.2 (which counts reads of D logically; the
+// underlying per-table gets add the lower-order cached-outer terms).
+func Join4Transfers(sizes []int64, s int64) int64 {
+	l := int64(1)
+	gets := int64(0)
+	for _, n := range sizes {
+		gets += l * n // sequential scan with cached outer tuples
+		l *= n
+	}
+	total := gets + l // reads + one put per iTuple
+	if s > 0 && l > s {
+		// The final copy of the kept cells is host-side and transfers nothing.
+		total += oblivious.FilterTransfers(l, s, oblivious.ChooseDelta(l, s))
+	}
+	return total
+}
+
+// prepCh5 validates a Chapter 5 input and builds the output schema and the
+// cartesian view.
+func prepCh5(t *sim.Coprocessor, tables []sim.Table) (*relation.Schema, *sim.Cartesian, error) {
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("%w: no input tables", errInvalid)
+	}
+	outSchema, err := outputSchemaN(tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	cart, err := sim.NewCartesian(t, tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outSchema, cart, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// Join5 runs Algorithm 5 (§5.3.2), the J-way general join for secure
+// coprocessors with larger memory M. T scans the L iTuples of D in a fixed
+// order ⌈S/M⌉ times. During a scan it stores in its memory the join results
+// whose index exceeds pindex (the index that produced the last result
+// flushed in the previous scan), up to M of them, and flushes them only at
+// the end of the scan — flushing mid-scan would reveal how many results lie
+// in a prefix of D (§5.3.2), which is why the thesis's security proof
+// prescribes scan-boundary flushes even though its pseudocode writes
+// eagerly. The flush sizes are M, M, …, S−(⌈S/M⌉−1)M: a function of
+// (L, S, M) alone, so the access pattern reveals nothing beyond the public
+// sizes. The output holds exactly the S real results; no oblivious sort or
+// random access is needed (§5.3.4: "ease of implementation").
+func Join5(t *sim.Coprocessor, tables []sim.Table, pred relation.MultiPredicate) (Result, error) {
+	outSchema, cart, err := prepCh5(t, tables)
+	if err != nil {
+		return Result{}, err
+	}
+	m := int64(t.Memory())
+	release, err := t.Grant(t.Memory())
+	if err != nil {
+		return Result{}, fmt.Errorf("core: algorithm 5: %w", err)
+	}
+	defer release()
+	t.ResetStats()
+
+	host := t.Host()
+	out := host.FreshRegion("alg5.out", 0)
+	outPos, err := multiScan(t, cart, outSchema, pred, out, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: outPos, Schema: outSchema},
+		OutputLen: outPos,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+// multiScan is Algorithm 5's scan discipline: repeat fixed-order scans of
+// D, storing up to m results whose index exceeds pindex (the index behind
+// the last flushed result) and flushing only at scan boundaries, until the
+// last flushed result is the globally last one. It returns the number of
+// oTuples written to out. Algorithm 6's blemish salvage reuses it.
+func multiScan(t *sim.Coprocessor, cart *sim.Cartesian, outSchema *relation.Schema,
+	pred relation.MultiPredicate, out sim.RegionID, m int64) (int64, error) {
+	l := cart.Size()
+	pindex := int64(-1) // index of iTuple of previous (flushed) join
+	lindex := int64(-1) // largest index of iTuple that leads to a join
+	outPos := int64(0)
+	for first := true; first || pindex < lindex; first = false {
+		stored := make([][]byte, 0, m) // result buffer inside T (Granted)
+		lastStored := pindex
+		for i := int64(0); i < l; i++ {
+			row, err := cart.Read(i)
+			if err != nil {
+				return 0, err
+			}
+			t.ChargePredicate()
+			if !pred.Satisfy(row) {
+				continue
+			}
+			if i > lindex {
+				lindex = i
+			}
+			if i > pindex && int64(len(stored)) < m {
+				payload, err := joinPayload(outSchema, row...)
+				if err != nil {
+					return 0, err
+				}
+				stored = append(stored, wrapReal(payload))
+				lastStored = i
+			}
+		}
+		// Flush at the scan boundary only.
+		for _, cell := range stored {
+			if err := t.Put(out, outPos, cell); err != nil {
+				return 0, err
+			}
+			outPos++
+		}
+		if len(stored) > 0 {
+			if err := t.RequestDisk(out, outPos-int64(len(stored)), int64(len(stored))); err != nil {
+				return 0, err
+			}
+		}
+		pindex = lastStored
+	}
+	return outPos, nil
+}
+
+// Join5Transfers is the exact transfer count of this implementation, the
+// measured analogue of Eqn 5.3: S + ⌈S/M⌉·L in logical reads; the
+// underlying gets of a sequential scan add the cached-outer lower-order
+// terms per scan.
+func Join5Transfers(sizes []int64, s, m int64) int64 {
+	l := int64(1)
+	getsPerScan := int64(0)
+	for _, n := range sizes {
+		getsPerScan += l * n
+		l *= n
+	}
+	scans := (s + m - 1) / m
+	if scans < 1 {
+		scans = 1
+	}
+	return scans*getsPerScan + s
+}
+
+// Join5Scans exposes the scan count ⌈S/M⌉ (minimum 1).
+func Join5Scans(s, m int64) int64 {
+	scans := (s + m - 1) / m
+	if scans < 1 {
+		scans = 1
+	}
+	return scans
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ppj/internal/oblivious"
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// This file implements the parallel variants of §4.4.4 ("both the above
+// algorithms are easy to parallelize with a linear speed-up in the number
+// of processors") and §5.3.5. All coprocessors must share one sealer and be
+// attached to the same host.
+
+// ParallelJoin2 runs Algorithm 2 with P coprocessors, partitioning the
+// outer relation A: device p handles A rows [p·|A|/P, (p+1)·|A|/P) and
+// writes its fixed-size flushes into a disjoint range of the shared output.
+// Every device's access pattern depends only on its partition bounds and
+// (|B|, N, M), so the per-device privacy guarantee is unchanged.
+func ParallelJoin2(cops []*sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64, delta int64) (Result, error) {
+	if len(cops) == 0 {
+		return Result{}, fmt.Errorf("%w: no coprocessors", errInvalid)
+	}
+	if err := validateCh4(a, b, n); err != nil {
+		return Result{}, err
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	// All devices must agree on γ and blk, so they are derived from the
+	// minimum memory across the fleet.
+	minMem := cops[0].Memory()
+	for _, c := range cops {
+		if c.Memory() < minMem {
+			minMem = c.Memory()
+		}
+	}
+	usable := int64(minMem) - delta
+	if usable < 1 {
+		return Result{}, fmt.Errorf("%w: no memory left after δ=%d", errInvalid, delta)
+	}
+	gamma := (n + usable - 1) / usable
+	if gamma < 1 {
+		gamma = 1
+	}
+	blk := (n + gamma - 1) / gamma
+
+	host := cops[0].Host()
+	out := host.FreshRegion("palg2.out", int(gamma*blk*a.N))
+	payloadSize := outSchema.TupleSize()
+
+	p := int64(len(cops))
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for w := int64(0); w < p; w++ {
+		lo := w * a.N / p
+		hi := (w + 1) * a.N / p
+		wg.Add(1)
+		go func(w, lo, hi int64) {
+			defer wg.Done()
+			errs[w] = join2Range(cops[w], a, b, pred, outSchema, out, int64(payloadSize), lo, hi, gamma, blk)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var stats sim.Stats
+	for w := range errs {
+		if errs[w] != nil {
+			return Result{}, errs[w]
+		}
+		stats.Add(cops[w].Stats())
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: gamma * blk * a.N, Schema: outSchema},
+		OutputLen: gamma * blk * a.N,
+		Stats:     stats,
+	}, nil
+}
+
+// join2Range is Algorithm 2's inner discipline over A rows [lo, hi),
+// writing flushes at the global offsets those rows own.
+func join2Range(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate,
+	outSchema *relation.Schema, out sim.RegionID, payloadSize int64, lo, hi, gamma, blk int64) error {
+	release, err := t.Grant(int(blk))
+	if err != nil {
+		return err
+	}
+	defer release()
+	t.ResetStats()
+	for ai := lo; ai < hi; ai++ {
+		aT, err := t.GetTuple(a, ai)
+		if err != nil {
+			return err
+		}
+		last := int64(-1)
+		for pass := int64(0); pass < gamma; pass++ {
+			joined := make([][]byte, 0, blk)
+			current := int64(0)
+			for bi := int64(0); bi < b.N; bi++ {
+				bT, err := t.GetTuple(b, bi)
+				if err != nil {
+					return err
+				}
+				t.ChargePredicate()
+				matched := pred.Match(aT, bT)
+				if current > last && int64(len(joined)) < blk && matched {
+					payload, err := outSchema.Encode(relation.JoinTuples(aT, bT))
+					if err != nil {
+						return err
+					}
+					joined = append(joined, wrapReal(payload))
+					last = current
+				}
+				current++
+			}
+			for int64(len(joined)) < blk {
+				joined = append(joined, wrapDecoy(int(payloadSize)))
+			}
+			base := ai*gamma*blk + pass*blk
+			for k, cell := range joined {
+				if err := t.Put(out, base+int64(k), cell); err != nil {
+					return err
+				}
+			}
+			if err := t.RequestDisk(out, base, blk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParallelJoin5 runs Algorithm 5 with P coprocessors (§5.3.5): a
+// coordinator screens the iTuples to learn S, then device i re-scans D and
+// outputs the results ranked [i·blk, (i+1)·blk) in the fixed order, blk =
+// ⌈S/P⌉. All devices read the iTuples in the same order; the per-device
+// flush schedule depends only on (L, S, M, P).
+func ParallelJoin5(cops []*sim.Coprocessor, tables []sim.Table, pred relation.MultiPredicate) (Result, error) {
+	if len(cops) == 0 {
+		return Result{}, fmt.Errorf("%w: no coprocessors", errInvalid)
+	}
+	outSchema, err := outputSchemaN(tables)
+	if err != nil {
+		return Result{}, err
+	}
+	// Coordinator screening pass (device 0).
+	coord, err := sim.NewCartesian(cops[0], tables)
+	if err != nil {
+		return Result{}, err
+	}
+	l := coord.Size()
+	var s int64
+	for i := int64(0); i < l; i++ {
+		row, err := coord.Read(i)
+		if err != nil {
+			return Result{}, err
+		}
+		cops[0].ChargePredicate()
+		if pred.Satisfy(row) {
+			s++
+		}
+	}
+	host := cops[0].Host()
+	out := host.FreshRegion("palg5.out", int(s))
+	if s == 0 {
+		return Result{
+			Output:    sim.Table{Region: out, N: 0, Schema: outSchema},
+			OutputLen: 0,
+			Stats:     cops[0].Stats(),
+		}, nil
+	}
+
+	p := int64(len(cops))
+	blk := (s + p - 1) / p
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for w := int64(0); w < p; w++ {
+		loRank := w * blk
+		hiRank := min64(loRank+blk, s)
+		wg.Add(1)
+		go func(w, loRank, hiRank int64) {
+			defer wg.Done()
+			if loRank >= hiRank {
+				return
+			}
+			errs[w] = join5RankWindow(cops[w], tables, pred, outSchema, out, loRank, hiRank)
+		}(w, loRank, hiRank)
+	}
+	wg.Wait()
+	var stats sim.Stats
+	for w := range errs {
+		if errs[w] != nil {
+			return Result{}, errs[w]
+		}
+		if w > 0 { // device 0's stats include the screening pass
+			stats.Add(cops[w].Stats())
+		}
+	}
+	stats.Add(cops[0].Stats())
+	return Result{
+		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
+		OutputLen: s,
+		Stats:     stats,
+	}, nil
+}
+
+// join5RankWindow scans D repeatedly, storing results whose global rank
+// falls in [loRank, hiRank), up to M per scan, flushing at scan boundaries.
+func join5RankWindow(t *sim.Coprocessor, tables []sim.Table, pred relation.MultiPredicate,
+	outSchema *relation.Schema, out sim.RegionID, loRank, hiRank int64) error {
+	cart, err := sim.NewCartesian(t, tables)
+	if err != nil {
+		return err
+	}
+	m := int64(t.Memory())
+	release, err := t.Grant(t.Memory())
+	if err != nil {
+		return err
+	}
+	defer release()
+	l := cart.Size()
+	next := loRank // next global rank this device still needs
+	for next < hiRank {
+		stored := make([][]byte, 0, m)
+		rank := int64(0)
+		flushBase := next
+		for i := int64(0); i < l; i++ {
+			row, err := cart.Read(i)
+			if err != nil {
+				return err
+			}
+			t.ChargePredicate()
+			if !pred.Satisfy(row) {
+				continue
+			}
+			if rank >= next && rank < hiRank && int64(len(stored)) < m {
+				payload, err := outSchema.Encode(relation.JoinTuples(row...))
+				if err != nil {
+					return err
+				}
+				stored = append(stored, wrapReal(payload))
+			}
+			rank++
+		}
+		for k, cell := range stored {
+			if err := t.Put(out, flushBase+int64(k), cell); err != nil {
+				return err
+			}
+		}
+		if len(stored) > 0 {
+			if err := t.RequestDisk(out, flushBase, int64(len(stored))); err != nil {
+				return err
+			}
+		}
+		next += int64(len(stored))
+		if len(stored) == 0 {
+			break // window exhausted (fewer results than hiRank)
+		}
+	}
+	return nil
+}
+
+// ParallelJoin4 runs Algorithm 4 with P coprocessors (§5.3.5): the iTuple
+// range is partitioned across devices, each emitting one oTuple per iTuple
+// into its own slice of the raw output; the decoy filter then uses the
+// parallel bitonic sort over all P devices ("oblivious filtering out decoys
+// in parallel requires a parallel bitonic sort"). P must be a power of two.
+func ParallelJoin4(cops []*sim.Coprocessor, tables []sim.Table, pred relation.MultiPredicate) (Result, error) {
+	if len(cops) == 0 {
+		return Result{}, fmt.Errorf("%w: no coprocessors", errInvalid)
+	}
+	outSchema, err := outputSchemaN(tables)
+	if err != nil {
+		return Result{}, err
+	}
+	probe, err := sim.NewCartesian(cops[0], tables)
+	if err != nil {
+		return Result{}, err
+	}
+	l := probe.Size()
+	host := cops[0].Host()
+	raw := host.FreshRegion("palg4.raw", int(l))
+	payloadSize := outSchema.TupleSize()
+
+	p := int64(len(cops))
+	counts := make([]int64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for w := int64(0); w < p; w++ {
+		lo := w * l / p
+		hi := (w + 1) * l / p
+		wg.Add(1)
+		go func(w, lo, hi int64) {
+			defer wg.Done()
+			cart, err := sim.NewCartesian(cops[w], tables)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				row, err := cart.Read(i)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				cops[w].ChargePredicate()
+				var cell []byte
+				if pred.Satisfy(row) {
+					payload, err := outSchema.Encode(relation.JoinTuples(row...))
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					cell = wrapReal(payload)
+					counts[w]++
+				} else {
+					cell = wrapDecoy(payloadSize)
+				}
+				if err := cops[w].Put(raw, i, cell); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var s int64
+	for _, c := range counts {
+		s += c
+	}
+
+	// Parallel oblivious sort, real results first; then the first S cells
+	// are the exact output.
+	if err := oblivious.ParallelSort(cops, raw, l, oTupleFirst); err != nil {
+		return Result{}, err
+	}
+	out := host.FreshRegion("palg4.out", int(s))
+	if s > 0 {
+		if err := cops[0].RequestCopyOut(out, 0, raw, 0, s); err != nil {
+			return Result{}, err
+		}
+	}
+	var stats sim.Stats
+	for _, c := range cops {
+		stats.Add(c.Stats())
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
+		OutputLen: s,
+		Stats:     stats,
+	}, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

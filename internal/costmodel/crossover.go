@@ -1,0 +1,34 @@
+package costmodel
+
+// Exact crossover solvers for the Figure 4.1 performance-relationship map:
+// the paper states the boundaries qualitatively (§4.6.2-§4.6.3); these
+// functions compute them numerically so the region map's edges can be
+// plotted and the claims tested at any parameter point.
+
+// CrossoverGamma12 returns the smallest integer γ at which Algorithm 1
+// becomes cheaper than Algorithm 2 for |A| = |B| = b and the given
+// α = N/|B| (0 if Algorithm 1 never wins up to γ = |B|). The analytic
+// boundary is γ > 2 + α + 2(log₂ 2α|B|)².
+func CrossoverGamma12(b int64, alpha float64) int64 {
+	for gamma := int64(1); gamma <= b; gamma++ {
+		c1, c2, _ := Ch4Costs(b, alpha, gamma)
+		if c1 < c2 {
+			return gamma
+		}
+	}
+	return 0
+}
+
+// CrossoverGamma23 returns the smallest integer γ at which Algorithm 3
+// becomes cheaper than Algorithm 2 for |A| = |B| = b and the given α
+// (0 if never up to γ = |B|). The paper shows this lands between γ = 3 and
+// γ = 4 for large |B| (§4.6.3).
+func CrossoverGamma23(b int64, alpha float64) int64 {
+	for gamma := int64(1); gamma <= b; gamma++ {
+		_, c2, c3 := Ch4Costs(b, alpha, gamma)
+		if c3 < c2 {
+			return gamma
+		}
+	}
+	return 0
+}

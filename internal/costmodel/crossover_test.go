@@ -1,0 +1,46 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossoverGamma12MatchesAnalyticBoundary(t *testing.T) {
+	// §4.6.2: Alg1 beats Alg2 once γ > 2 + α + 2(log₂ 2α|B|)².
+	for _, b := range []int64{1000, 10000, 100000} {
+		for _, alpha := range []float64{1 / float64(b), 0.001, 0.01} {
+			got := CrossoverGamma12(b, alpha)
+			want := int64(math.Floor(2+alpha+2*sq(log2(2*alpha*float64(b))))) + 1
+			if got == 0 {
+				if want <= b {
+					t.Errorf("|B|=%d α=%g: no crossover found, analytic says γ=%d", b, alpha, want)
+				}
+				continue
+			}
+			// The integer scan and the analytic boundary agree to ±1.
+			if got < want-1 || got > want+1 {
+				t.Errorf("|B|=%d α=%g: crossover γ=%d, analytic %d", b, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestCrossoverGamma12AtMinAlphaIsFive(t *testing.T) {
+	// §4.6.2's headline case: at α = 1/|B|, Algorithm 1 wins for γ > 4.
+	b := int64(10000)
+	if got := CrossoverGamma12(b, 1/float64(b)); got != 5 {
+		t.Fatalf("crossover at α=1/|B| is γ=%d, want 5", got)
+	}
+}
+
+func TestCrossoverGamma23InPaperBand(t *testing.T) {
+	// §4.6.3: "When γ <= 3, Algorithm 2 outperforms Algorithm 3 regardless
+	// of |B|. ... When γ >= 4, Algorithm 3 outperforms Algorithm 2 whenever
+	// |B| >= 1": the crossover is always 4 for sufficiently large |B|.
+	for _, b := range []int64{1000, 10000, 1000000} {
+		got := CrossoverGamma23(b, 0.001)
+		if got != 4 {
+			t.Errorf("|B|=%d: Alg2/Alg3 crossover γ=%d, want 4", b, got)
+		}
+	}
+}

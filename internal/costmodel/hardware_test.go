@@ -1,0 +1,66 @@
+package costmodel
+
+import "testing"
+
+func TestDeviceProfiles(t *testing.T) {
+	p58, p64 := IBM4758(), IBM4764()
+	if p58.MemoryBytes != 4<<20 || p64.MemoryBytes != 64<<20 {
+		t.Fatal("memory sizes do not match §1.1 (4 MB / 64 MB)")
+	}
+	// The 4764 must be strictly faster per transfer.
+	if p64.SecondsPerTransfer(64) >= p58.SecondsPerTransfer(64) {
+		t.Fatal("4764 not faster than 4758")
+	}
+}
+
+func TestMemoryTuples(t *testing.T) {
+	p := IBM4758()
+	m := p.MemoryTuples(64, 0.5)
+	if m <= 0 || m > p.MemoryBytes/64 {
+		t.Fatalf("MemoryTuples = %d", m)
+	}
+	if p.MemoryTuples(0, 0.5) != 0 || p.MemoryTuples(64, 1.0) != 0 {
+		t.Fatal("degenerate inputs not handled")
+	}
+	// A 4758 with half its 4MB reserved holds ~32k 64-byte tuples — far
+	// more than the paper's M=64/256 working sets, which model the
+	// single-chip trend (§1.1).
+	if m < 10_000 {
+		t.Fatalf("4758 should hold >10k 64-byte tuples, got %d", m)
+	}
+}
+
+func TestEstimateSecondsScalesLinearly(t *testing.T) {
+	p := IBM4764()
+	one := p.EstimateSeconds(1, 64)
+	million := p.EstimateSeconds(1e6, 64)
+	if million <= one || million/one < 0.99e6 || million/one > 1.01e6 {
+		t.Fatalf("estimate not linear: %g vs %g", one, million)
+	}
+}
+
+func TestEstimateTableOrdering(t *testing.T) {
+	for _, profile := range []DeviceProfile{IBM4758(), IBM4764()} {
+		rows := EstimateTable(profile, 64)
+		if len(rows) != 3 {
+			t.Fatalf("want 3 settings, got %d", len(rows))
+		}
+		for _, r := range rows {
+			// The paper's ordering must survive the conversion to seconds.
+			if !(r.SMCSec > r.Alg4Sec && r.Alg4Sec > r.Alg5Sec && r.Alg5Sec > r.Alg6Sec) {
+				t.Fatalf("%s %s: ordering broken: smc=%g a4=%g a5=%g a6=%g",
+					profile.Name, r.Setting.Name, r.SMCSec, r.Alg4Sec, r.Alg5Sec, r.Alg6Sec)
+			}
+		}
+		// Algorithm 6 at setting 1 should be interactive-scale on a 4764
+		// (seconds to minutes), while SMC is hours+ — the practicality gap.
+		if profile.Name == "IBM 4764" {
+			if rows[0].Alg6Sec > 600 {
+				t.Fatalf("Alg6 estimate implausibly slow: %g s", rows[0].Alg6Sec)
+			}
+			if rows[0].SMCSec < 3600 {
+				t.Fatalf("SMC estimate implausibly fast: %g s", rows[0].SMCSec)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package costmodel
+
+// This file implements the §4.4.3 "Parameter Selection" analysis for
+// Algorithm 2: how to split T's free memory F = M + 1 − δ between input
+// tuples and result tuples, and why blocking the outer relation A never
+// helps ("Understanding Blocking of A").
+
+// MemoryPartition is a division of T's free memory for Algorithm 2.
+type MemoryPartition struct {
+	// FA, FB and FJ are the tuple counts reserved for A tuples, B tuples
+	// and joined tuples (the paper's F_a, F_b, F_j).
+	FA, FB, FJ int64
+	// Gamma is the resulting number of passes over B per outer unit.
+	Gamma int64
+	// Blk is the number of joined tuples emitted per pass.
+	Blk int64
+}
+
+// SelectPartition computes the §4.4.3 memory split for match bound N,
+// memory M and bookkeeping allowance δ.
+//
+// Case 1 (N > F): blocking A does not help, so one A tuple is held and F
+// is split between B tuples and joined tuples: blk = ⌈N/γ⌉ with
+// γ = ⌈N/(M−δ)⌉, F_j = blk, F_b = M−δ−blk.
+//
+// Case 2 (N ≤ F): one scan of B per outer block suffices; Q is the largest
+// integer with Q(1+N) ≤ F, and the split is F_a = Q, F_j = QN,
+// F_b = F − Q(1+N).
+func SelectPartition(n, m, delta int64) MemoryPartition {
+	f := m + 1 - delta
+	if f < 2 {
+		return MemoryPartition{}
+	}
+	if n > f {
+		usable := m - delta
+		gamma := (n + usable - 1) / usable
+		blk := (n + gamma - 1) / gamma
+		return MemoryPartition{
+			FA:    1,
+			FB:    usable - blk,
+			FJ:    blk,
+			Gamma: gamma,
+			Blk:   blk,
+		}
+	}
+	q := f / (1 + n)
+	if q < 1 {
+		q = 1
+	}
+	return MemoryPartition{
+		FA:    q,
+		FB:    f - q*(1+n),
+		FJ:    q * n,
+		Gamma: 1,
+		Blk:   n,
+	}
+}
+
+// BlockedAlg2Cost is the §4.4.3 cost of the blocked variant that reads A in
+// blocks of K tuples, reserving room for N' < N joined tuples per block
+// member: ⌈|A|/K⌉·⌈N/N'⌉·|B| B-tuple transfers (plus the unchanged A reads
+// and output writes). The section shows the non-blocking Algorithm 2 always
+// does at least as well because KN' < M forces ⌈|A|/K⌉⌈N/N'⌉ ≥ |A|·γ/1.
+func BlockedAlg2Cost(a, b, n, k, nPrime int64) float64 {
+	if k < 1 || nPrime < 1 {
+		return 0
+	}
+	blocks := (a + k - 1) / k
+	passes := (n + nPrime - 1) / nPrime
+	return float64(a) + float64(blocks*passes)*float64(b) + float64(n*a)
+}
+
+// BlockingNeverHelps checks §4.4.3's claim for a concrete configuration:
+// for every feasible (K, N') with K·N' ≤ M−δ, the blocked cost is at least
+// Algorithm 2's. It returns the best blocked cost found and whether the
+// claim held.
+func BlockingNeverHelps(a, b, n, m, delta int64) (bestBlocked float64, holds bool) {
+	base := Alg2Cost(a, b, n, m)
+	usable := m - delta
+	holds = true
+	bestBlocked = -1
+	for k := int64(1); k <= usable; k++ {
+		for nPrime := int64(1); k*nPrime <= usable; nPrime++ {
+			c := BlockedAlg2Cost(a, b, n, k, nPrime)
+			if bestBlocked < 0 || c < bestBlocked {
+				bestBlocked = c
+			}
+			if c < base {
+				holds = false
+			}
+		}
+	}
+	return bestBlocked, holds
+}

@@ -1,0 +1,71 @@
+package costmodel
+
+import "testing"
+
+func TestSelectPartitionCase1(t *testing.T) {
+	// N > F: one A tuple, F split between B and joined tuples.
+	p := SelectPartition(100, 10, 0)
+	if p.FA != 1 {
+		t.Fatalf("case 1 should hold one A tuple, got %d", p.FA)
+	}
+	if p.Gamma != 10 { // ceil(100/10)
+		t.Fatalf("gamma = %d, want 10", p.Gamma)
+	}
+	if p.Blk != 10 { // ceil(100/10)
+		t.Fatalf("blk = %d, want 10", p.Blk)
+	}
+	if p.FJ != p.Blk {
+		t.Fatalf("F_j = %d, want blk", p.FJ)
+	}
+	if p.FA+p.FB+p.FJ > 10+1 {
+		t.Fatalf("partition exceeds F: %+v", p)
+	}
+}
+
+func TestSelectPartitionCase2(t *testing.T) {
+	// N <= F: Q outer tuples with all their matches resident.
+	p := SelectPartition(3, 20, 1)
+	f := int64(20 + 1 - 1)
+	q := f / 4 // Q(1+N) <= F with N=3
+	if p.FA != q {
+		t.Fatalf("F_a = %d, want Q = %d", p.FA, q)
+	}
+	if p.FJ != q*3 {
+		t.Fatalf("F_j = %d, want QN = %d", p.FJ, q*3)
+	}
+	if p.Gamma != 1 {
+		t.Fatalf("case 2 should scan B once, gamma = %d", p.Gamma)
+	}
+	if p.FA+p.FB+p.FJ != f {
+		t.Fatalf("partition does not exhaust F: %+v", p)
+	}
+}
+
+func TestSelectPartitionDegenerate(t *testing.T) {
+	if p := SelectPartition(5, 0, 0); p.FA != 0 || p.Gamma != 0 {
+		t.Fatalf("no-memory partition = %+v", p)
+	}
+}
+
+func TestBlockingNeverHelps(t *testing.T) {
+	// §4.4.3: "blocking A is computationally more expensive than the
+	// non-blocking case" — exhaustively over feasible (K, N').
+	cases := []struct{ a, b, n, m int64 }{
+		{100, 100, 16, 4},
+		{50, 200, 8, 4},
+		{64, 64, 32, 8},
+	}
+	for _, tc := range cases {
+		best, holds := BlockingNeverHelps(tc.a, tc.b, tc.n, tc.m, 0)
+		if !holds {
+			t.Errorf("blocking beat Algorithm 2 for %+v (best blocked %.0f, alg2 %.0f)",
+				tc, best, Alg2Cost(tc.a, tc.b, tc.n, tc.m))
+		}
+	}
+}
+
+func TestBlockedCostDegenerate(t *testing.T) {
+	if BlockedAlg2Cost(10, 10, 4, 0, 1) != 0 || BlockedAlg2Cost(10, 10, 4, 1, 0) != 0 {
+		t.Fatal("degenerate block shapes should cost 0 (rejected)")
+	}
+}

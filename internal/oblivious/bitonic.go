@@ -1,0 +1,132 @@
+// Package oblivious implements the data-oblivious building blocks the join
+// algorithms orchestrate through the secure coprocessor: Batcher's bitonic
+// sorting network (§4.4.1), an oblivious shuffle (random-key sort, used by
+// the unsafe-baseline discussions of §4.5.1), and the optimised repeated
+// decoy filter of §5.2.2.
+//
+// An oblivious sort "sorts a list of encrypted elements such that no
+// observer learns the relationship between the position of any element in
+// the original list and the output list" (§4.4.1). Bitonic networks achieve
+// this because the comparator schedule is a pure function of the element
+// count: every compare-exchange gets both cells, decrypts, compares inside
+// T, re-encrypts, and writes both cells back — 4 transfers per comparator,
+// always, regardless of the outcome.
+package oblivious
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ppj/internal/sim"
+)
+
+// LessFunc orders decrypted cell plaintexts.
+type LessFunc func(a, b []byte) bool
+
+// padCell is the plaintext of padding cells appended when the element count
+// is not a power of two. It compares greater than every real element. Real
+// cell plaintexts must be longer than one byte (all tuple encodings are).
+var padCell = []byte{0xF0}
+
+func isPad(b []byte) bool { return len(b) == 1 && b[0] == padCell[0] }
+
+// NextPow2 returns the smallest power of two >= n (n > 0).
+func NextPow2(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(uint64(n-1))
+}
+
+// Sort obliviously sorts cells [0, n) of a host region in ascending order of
+// less. If n is not a power of two the region is first extended with padding
+// cells (maximal elements) up to the next power of two; after sorting they
+// occupy positions [n, m) and the first n cells hold the sorted data. All
+// accesses — including the padding writes — depend only on n.
+func Sort(t *sim.Coprocessor, region sim.RegionID, n int64, less LessFunc) error {
+	if n < 0 {
+		return fmt.Errorf("oblivious: negative element count %d", n)
+	}
+	if n <= 1 {
+		return nil
+	}
+	m := NextPow2(n)
+	for i := n; i < m; i++ {
+		if err := t.Put(region, i, padCell); err != nil {
+			return err
+		}
+	}
+	wrapped := func(a, b []byte) bool {
+		switch {
+		case isPad(a):
+			return false
+		case isPad(b):
+			return true
+		default:
+			return less(a, b)
+		}
+	}
+	return sortPow2(t, region, m, wrapped)
+}
+
+// sortPow2 runs the classic iterative bitonic network over m = 2^k cells.
+func sortPow2(t *sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) error {
+	for k := int64(2); k <= m; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := int64(0); i < m; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				ascending := i&k == 0
+				if err := compareExchange(t, region, i, l, ascending, less); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compareExchange performs one comparator: get both cells, compare inside T,
+// put both cells back (possibly swapped). Its access pattern and transfer
+// count are outcome-independent.
+func compareExchange(t *sim.Coprocessor, region sim.RegionID, i, j int64, ascending bool, less LessFunc) error {
+	a, err := t.Get(region, i)
+	if err != nil {
+		return err
+	}
+	b, err := t.Get(region, j)
+	if err != nil {
+		return err
+	}
+	t.ChargeCompare()
+	if less(b, a) == ascending {
+		a, b = b, a
+	}
+	if err := t.Put(region, i, a); err != nil {
+		return err
+	}
+	return t.Put(region, j, b)
+}
+
+// Comparators returns the exact number of compare-exchanges the network
+// executes for m = 2^k elements: (m/2)·k(k+1)/2. The paper approximates
+// this as ¼·m·(log₂ m)² (§4.4.1).
+func Comparators(m int64) int64 {
+	if m <= 1 {
+		return 0
+	}
+	k := int64(bits.Len64(uint64(m))) - 1
+	return (m / 2) * k * (k + 1) / 2
+}
+
+// SortTransfers returns the exact number of tuple transfers of Sort for n
+// elements: padding puts plus 4 per comparator.
+func SortTransfers(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	m := NextPow2(n)
+	return (m - n) + 4*Comparators(m)
+}

@@ -1,0 +1,132 @@
+package oblivious
+
+import (
+	"fmt"
+
+	"ppj/internal/sim"
+)
+
+// Filter implements the optimised oblivious decoy removal of §5.2.2: given a
+// source list of ω encrypted cells of which at most μ are "targets" (real
+// join results) and the rest decoys, it returns a buffer region whose first
+// μ cells contain every target, without revealing which source positions
+// held them.
+//
+// Instead of one bitonic sort of all ω cells, it repeatedly sorts a buffer
+// of μ+Δ cells: the buffer is filled from the source, sorted target-first,
+// and then its bottom Δ cells — guaranteed decoys, since at most μ targets
+// exist — are overwritten with the next Δ source cells. The paper shows the
+// total cost (ω−μ)/Δ · (μ+Δ)[log₂(μ+Δ)]² transfers and derives an optimal
+// swap size Δ*.
+//
+// This implementation requires μ+Δ to be a power of two so the repeated
+// bitonic sorts need no per-round padding; ChooseDelta picks the best such
+// Δ. Rounds with fewer than Δ remaining source cells are topped up with
+// padding cells, so the access pattern is a function of (ω, μ, Δ) only.
+func Filter(t *sim.Coprocessor, src sim.RegionID, omega, mu, delta int64,
+	isTarget func([]byte) bool, bufName string) (sim.RegionID, error) {
+	if mu < 0 || omega < 0 || delta <= 0 {
+		return 0, fmt.Errorf("oblivious: invalid filter shape ω=%d μ=%d Δ=%d", omega, mu, delta)
+	}
+	bufSize := mu + delta
+	if bufSize != NextPow2(bufSize) {
+		return 0, fmt.Errorf("oblivious: filter buffer μ+Δ = %d must be a power of two", bufSize)
+	}
+	buf, err := t.Host().CreateRegion(bufName, int(bufSize))
+	if err != nil {
+		return 0, err
+	}
+	less := func(a, b []byte) bool {
+		// Targets first; Sort's internal wrapper already places padding
+		// cells last, so only real-vs-real ordering matters here.
+		return isTarget(a) && !isTarget(b)
+	}
+
+	// Initial fill: the first min(ω, μ+Δ) source cells, padded to μ+Δ.
+	head := min64(omega, bufSize)
+	for i := int64(0); i < head; i++ {
+		pt, err := t.Get(src, i)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.Put(buf, i, pt); err != nil {
+			return 0, err
+		}
+	}
+	for i := head; i < bufSize; i++ {
+		if err := t.Put(buf, i, padCell); err != nil {
+			return 0, err
+		}
+	}
+	if err := Sort(t, buf, bufSize, less); err != nil {
+		return 0, err
+	}
+
+	for pos := bufSize; pos < omega; pos += delta {
+		r := min64(delta, omega-pos)
+		for i := int64(0); i < r; i++ {
+			pt, err := t.Get(src, pos+i)
+			if err != nil {
+				return 0, err
+			}
+			if err := t.Put(buf, mu+i, pt); err != nil {
+				return 0, err
+			}
+		}
+		for i := r; i < delta; i++ {
+			if err := t.Put(buf, mu+i, padCell); err != nil {
+				return 0, err
+			}
+		}
+		if err := Sort(t, buf, bufSize, less); err != nil {
+			return 0, err
+		}
+	}
+	return buf, nil
+}
+
+// FilterTransfers returns the exact transfer count of Filter(ω, μ, Δ).
+func FilterTransfers(omega, mu, delta int64) int64 {
+	bufSize := mu + delta
+	head := min64(omega, bufSize)
+	total := 2*head + (bufSize - head) // initial copy + fill
+	rounds := int64(1)
+	for pos := bufSize; pos < omega; pos += delta {
+		r := min64(delta, omega-pos)
+		total += 2*r + (delta - r)
+		rounds++
+	}
+	total += rounds * 4 * Comparators(bufSize)
+	return total
+}
+
+// ChooseDelta returns the power-of-two-compatible swap size Δ (with μ+Δ a
+// power of two) minimising FilterTransfers for the given ω and μ. It is the
+// implementation analogue of the paper's Δ* (Eqn. 5.1).
+func ChooseDelta(omega, mu int64) int64 {
+	best := int64(-1)
+	var bestCost int64
+	// Candidate buffer sizes: powers of two from just above μ up to well
+	// past ω (a single full sort).
+	for bufSize := NextPow2(mu + 1); ; bufSize <<= 1 {
+		delta := bufSize - mu
+		if delta <= 0 {
+			continue
+		}
+		cost := FilterTransfers(omega, mu, delta)
+		if best < 0 || cost < bestCost {
+			best, bestCost = delta, cost
+		}
+		if bufSize >= NextPow2(omega)*2 || bufSize > 1<<40 {
+			break
+		}
+	}
+	return best
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package oblivious
+
+import (
+	"fmt"
+	"sync"
+
+	"ppj/internal/sim"
+)
+
+// ParallelSort obliviously sorts cells [0, n) of a region using P secure
+// coprocessors attached to the same host (§4.4.4, §5.3.5: "Each secure
+// coprocessor has about N/P items and first sorts them locally using
+// sequential bitonic sort. Then the P secure coprocessors sort the P sorted
+// lists using bitonic sort and treats each list as one single element.").
+//
+// The "block as one element" comparator is realised as an oblivious
+// merge-split: a cross half-cleaner between the two sorted blocks followed
+// by a bitonic merge inside each block, leaving every element of the low
+// block ≤ every element of the high block with both blocks sorted. By the
+// 0-1 principle this block network sorts globally. All coprocessors must
+// share one sealer (they re-encrypt cells for each other).
+//
+// P must be a power of two. Within every stage the block pairs are disjoint
+// and run concurrently, one coprocessor per pair; stages are barriers.
+func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less LessFunc) error {
+	p := int64(len(cops))
+	if p == 0 {
+		return fmt.Errorf("oblivious: no coprocessors")
+	}
+	if p&(p-1) != 0 {
+		return fmt.Errorf("oblivious: coprocessor count %d must be a power of two", p)
+	}
+	if n <= 1 {
+		return nil
+	}
+	m := NextPow2(n)
+	for i := n; i < m; i++ {
+		if err := cops[0].Put(region, i, padCell); err != nil {
+			return err
+		}
+	}
+	if p > m {
+		p = m // more devices than elements: use m of them
+	}
+	block := m / p
+	wrapped := func(a, b []byte) bool {
+		switch {
+		case isPad(a):
+			return false
+		case isPad(b):
+			return true
+		default:
+			return less(a, b)
+		}
+	}
+
+	// Phase 1: local sorts, one block per coprocessor.
+	if err := inParallel(p, func(w int64) error {
+		return sortSpanPow2(cops[w], region, w*block, block, wrapped)
+	}); err != nil {
+		return err
+	}
+
+	// Phase 2: bitonic network over blocks, merge-split comparators.
+	for k := int64(2); k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			// Collect the disjoint pairs of this stage.
+			type pair struct{ lo, hi int64 }
+			var pairs []pair
+			for i := int64(0); i < p; i++ {
+				l := i ^ j
+				if l > i {
+					asc := i&k == 0
+					if asc {
+						pairs = append(pairs, pair{i, l})
+					} else {
+						pairs = append(pairs, pair{l, i})
+					}
+				}
+			}
+			if err := inParallel(int64(len(pairs)), func(w int64) error {
+				pr := pairs[w]
+				return mergeSplit(cops[w%int64(len(cops))], region,
+					pr.lo*block, pr.hi*block, block, wrapped)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortSpanPow2 bitonic-sorts cells [lo, lo+m) where m is a power of two.
+func sortSpanPow2(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less LessFunc) error {
+	for k := int64(2); k <= m; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := int64(0); i < m; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				ascending := i&k == 0
+				if err := compareExchange(t, region, lo+i, lo+l, ascending, less); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mergeSplit merges two ascending-sorted blocks at lo and hi (each of block
+// cells, block a power of two) so that afterwards both are sorted and every
+// element at lo ≤ every element at hi.
+func mergeSplit(t *sim.Coprocessor, region sim.RegionID, lo, hi, block int64, less LessFunc) error {
+	// Cross half-cleaner over A ++ reverse(B).
+	for i := int64(0); i < block; i++ {
+		if err := compareExchange(t, region, lo+i, hi+block-1-i, true, less); err != nil {
+			return err
+		}
+	}
+	// Each block is now bitonic; merge each ascending.
+	if err := bitonicMerge(t, region, lo, block, less); err != nil {
+		return err
+	}
+	return bitonicMerge(t, region, hi, block, less)
+}
+
+// bitonicMerge sorts a bitonic sequence of m (power of two) cells ascending.
+func bitonicMerge(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less LessFunc) error {
+	for j := m >> 1; j > 0; j >>= 1 {
+		for i := int64(0); i < m; i++ {
+			l := i ^ j
+			if l <= i {
+				continue
+			}
+			if err := compareExchange(t, region, lo+i, lo+l, true, less); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// inParallel runs fn(0..n-1) concurrently and joins errors.
+func inParallel(n int64, fn func(w int64) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := int64(0); w < n; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

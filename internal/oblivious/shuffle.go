@@ -1,0 +1,64 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ppj/internal/sim"
+)
+
+// Shuffle obliviously permutes cells [0, n) of a region uniformly at random:
+// each element is re-encrypted with a fresh 64-bit key drawn from T's
+// internal randomness prepended, the list is bitonic-sorted by that key, and
+// the keys are stripped. The adversary observes only the fixed bitonic
+// schedule; the permutation is determined by randomness that never leaves T
+// (the "obliviously shuffle" primitive of §4.5.1, after Iliev & Smith [24]).
+func Shuffle(t *sim.Coprocessor, region sim.RegionID, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("oblivious: negative element count %d", n)
+	}
+	if n <= 1 {
+		return nil
+	}
+	// Tag phase: rewrite every cell as key || payload.
+	for i := int64(0); i < n; i++ {
+		pt, err := t.Get(region, i)
+		if err != nil {
+			return err
+		}
+		tagged := make([]byte, 8+len(pt))
+		binary.BigEndian.PutUint64(tagged, t.Rand().Uint64())
+		copy(tagged[8:], pt)
+		if err := t.Put(region, i, tagged); err != nil {
+			return err
+		}
+	}
+	less := func(a, b []byte) bool {
+		return binary.BigEndian.Uint64(a) < binary.BigEndian.Uint64(b)
+	}
+	if err := Sort(t, region, n, less); err != nil {
+		return err
+	}
+	// Strip phase.
+	for i := int64(0); i < n; i++ {
+		pt, err := t.Get(region, i)
+		if err != nil {
+			return err
+		}
+		if len(pt) < 8 {
+			return fmt.Errorf("oblivious: shuffle strip found short cell at %d", i)
+		}
+		if err := t.Put(region, i, pt[8:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShuffleTransfers returns the exact transfer count of Shuffle on n cells.
+func ShuffleTransfers(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return 4*n + SortTransfers(n)
+}

@@ -1,0 +1,140 @@
+package ocb
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the thesis's §4.4.1 encryption strategy for the
+// scratch array: treat the tuples of a round as blocks of ONE evolving OCB
+// message, keeping the running offset Z[i] and Checksum across appends and
+// emitting a tag per round. Compared to sealing each tuple separately
+// (m+2 block-cipher calls per tuple), appending to an incremental message
+// costs one call per block plus two per tag — the constant-factor saving
+// the thesis's scheme buys, which TestIncrementalSavesBlockCipherCalls
+// quantifies.
+//
+// The thesis also describes random access inside the message: "In order to
+// decrypt the (n/2+1)-th element without sequentially decrypting every
+// tuple before it, we apply the function f(·,·) i = n/2 times". Because
+// OCB's offsets are Gray-code combinations of the precomputed L(j) values,
+// OffsetAt jumps to Z[i] in O(popcount(gray(i))) XORs instead — strictly
+// better than the thesis's linear walk, with identical results.
+
+// ErrIncrementalAuth is returned when an incremental tag fails to verify.
+var ErrIncrementalAuth = errors.New("ocb: incremental message authentication failed")
+
+// Incremental encrypts a growing sequence of whole blocks under one nonce,
+// maintaining OCB's running offset and checksum. Whole-block granularity
+// matches the fixed-size-tuple setting (§4.1).
+type Incremental struct {
+	m        *Mode
+	base     [BlockSize]byte // Z[0]
+	offset   [BlockSize]byte // Z[i]
+	checksum [BlockSize]byte
+	i        uint64
+}
+
+// NewIncremental starts an incremental message under a fresh nonce (one
+// nonce per round / sort stage, as §4.4.1 prescribes).
+func (m *Mode) NewIncremental(nonce [NonceSize]byte) *Incremental {
+	base := m.baseOffset(nonce)
+	return &Incremental{m: m, base: base, offset: base}
+}
+
+// Blocks returns the number of blocks appended so far.
+func (inc *Incremental) Blocks() uint64 { return inc.i }
+
+// EncryptBlock appends one plaintext block, returning its ciphertext:
+// C[i] = E_K(T[i] ⊕ Z[i]) ⊕ Z[i], Checksum ⊕= T[i].
+func (inc *Incremental) EncryptBlock(pt [BlockSize]byte) [BlockSize]byte {
+	inc.i++
+	inc.offset = xorBlocks(inc.offset, inc.m.l[ntz(inc.i)])
+	inc.checksum = xorBlocks(inc.checksum, pt)
+	tmp := xorBlocks(pt, inc.offset)
+	inc.m.block.Encrypt(tmp[:], tmp[:])
+	return xorBlocks(tmp, inc.offset)
+}
+
+// DecryptBlock appends one ciphertext block, returning its plaintext and
+// maintaining the same running state (used by the verifying reader).
+func (inc *Incremental) DecryptBlock(ct [BlockSize]byte) [BlockSize]byte {
+	inc.i++
+	inc.offset = xorBlocks(inc.offset, inc.m.l[ntz(inc.i)])
+	tmp := xorBlocks(ct, inc.offset)
+	inc.m.block.Decrypt(tmp[:], tmp[:])
+	pt := xorBlocks(tmp, inc.offset)
+	inc.checksum = xorBlocks(inc.checksum, pt)
+	return pt
+}
+
+// Tag authenticates everything appended so far:
+// E_K(Checksum ⊕ Z[i] ⊕ L·x⁻¹). It may be called repeatedly (per round)
+// as the message keeps growing; each call covers the whole prefix.
+func (inc *Incremental) Tag() [TagSize]byte {
+	t := xorBlocks(xorBlocks(inc.checksum, inc.offset), inc.m.lInv)
+	inc.m.block.Encrypt(t[:], t[:])
+	return t
+}
+
+// Verify compares an expected tag in constant time, returning
+// ErrIncrementalAuth on mismatch ("if T accepts the 2N tuples it just
+// decrypted, it continues to the next step, otherwise, it terminates").
+func (inc *Incremental) Verify(tag [TagSize]byte) error {
+	got := inc.Tag()
+	if subtle.ConstantTimeCompare(got[:], tag[:]) != 1 {
+		return ErrIncrementalAuth
+	}
+	return nil
+}
+
+// OffsetAt computes Z[i] for 1-indexed block i directly from the Gray-code
+// structure: Z[i] = Z[0] ⊕ ⨁_{j ∈ bits(gray(i))} L(j).
+func (inc *Incremental) OffsetAt(i uint64) ([BlockSize]byte, error) {
+	if i == 0 {
+		return inc.base, nil
+	}
+	if i >= 1<<62 {
+		// No real message reaches 2^62 blocks; the guard keeps the Gray
+		// arithmetic trivially inside the precomputed L(j) table.
+		return [BlockSize]byte{}, fmt.Errorf("ocb: block index %d out of range", i)
+	}
+	g := i ^ (i >> 1) // Gray code
+	z := inc.base
+	for g != 0 {
+		j := bits.TrailingZeros64(g)
+		z = xorBlocks(z, inc.m.l[j])
+		g &= g - 1
+	}
+	return z, nil
+}
+
+// DecryptAt decrypts the 1-indexed block i out of order, without touching
+// the running state (the non-sequential access of the oblivious sort). The
+// caller remains responsible for tag verification over the full message.
+func (inc *Incremental) DecryptAt(i uint64, ct [BlockSize]byte) ([BlockSize]byte, error) {
+	z, err := inc.OffsetAt(i)
+	if err != nil {
+		return [BlockSize]byte{}, err
+	}
+	tmp := xorBlocks(ct, z)
+	inc.m.block.Decrypt(tmp[:], tmp[:])
+	return xorBlocks(tmp, z), nil
+}
+
+// EncryptAt re-encrypts the 1-indexed block i out of order (the write-back
+// half of a compare-exchange). As with DecryptAt, checksum maintenance is
+// the caller's concern: swapping two plaintext blocks leaves the message
+// checksum unchanged, which is why the §4.4.1 scheme stays consistent
+// across oblivious sorting.
+func (inc *Incremental) EncryptAt(i uint64, pt [BlockSize]byte) ([BlockSize]byte, error) {
+	z, err := inc.OffsetAt(i)
+	if err != nil {
+		return [BlockSize]byte{}, err
+	}
+	tmp := xorBlocks(pt, z)
+	inc.m.block.Encrypt(tmp[:], tmp[:])
+	return xorBlocks(tmp, z), nil
+}

@@ -1,0 +1,205 @@
+package ocb
+
+import (
+	"crypto/aes"
+	"testing"
+)
+
+func blockOf(b byte) [BlockSize]byte {
+	var out [BlockSize]byte
+	for i := range out {
+		out[i] = b ^ byte(i)
+	}
+	return out
+}
+
+func TestIncrementalRoundTrip(t *testing.T) {
+	m := testMode(t)
+	nonce := nonceFrom(100)
+	enc := m.NewIncremental(nonce)
+	var cts [][BlockSize]byte
+	for i := 0; i < 10; i++ {
+		cts = append(cts, enc.EncryptBlock(blockOf(byte(i))))
+	}
+	tag := enc.Tag()
+
+	dec := m.NewIncremental(nonce)
+	for i, ct := range cts {
+		pt := dec.DecryptBlock(ct)
+		if pt != blockOf(byte(i)) {
+			t.Fatalf("block %d round trip failed", i)
+		}
+	}
+	if err := dec.Verify(tag); err != nil {
+		t.Fatalf("tag verify: %v", err)
+	}
+	if enc.Blocks() != 10 || dec.Blocks() != 10 {
+		t.Fatal("block counters wrong")
+	}
+}
+
+func TestIncrementalPerRoundTags(t *testing.T) {
+	// §4.4.1: the message keeps growing round after round, with a tag per
+	// round covering the whole prefix.
+	m := testMode(t)
+	nonce := nonceFrom(101)
+	enc := m.NewIncremental(nonce)
+	dec := m.NewIncremental(nonce)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 5; i++ {
+			ct := enc.EncryptBlock(blockOf(byte(round*5 + i)))
+			dec.DecryptBlock(ct)
+		}
+		if err := dec.Verify(enc.Tag()); err != nil {
+			t.Fatalf("round %d tag: %v", round, err)
+		}
+	}
+}
+
+func TestIncrementalTamperDetected(t *testing.T) {
+	m := testMode(t)
+	nonce := nonceFrom(102)
+	enc := m.NewIncremental(nonce)
+	ct1 := enc.EncryptBlock(blockOf(1))
+	ct2 := enc.EncryptBlock(blockOf(2))
+	tag := enc.Tag()
+
+	dec := m.NewIncremental(nonce)
+	ct1[3] ^= 0x40 // host flips a bit
+	dec.DecryptBlock(ct1)
+	dec.DecryptBlock(ct2)
+	if err := dec.Verify(tag); err == nil {
+		t.Fatal("tampered incremental message accepted")
+	}
+}
+
+func TestOffsetAtMatchesSequentialWalk(t *testing.T) {
+	m := testMode(t)
+	nonce := nonceFrom(103)
+	walk := m.NewIncremental(nonce)
+	jump := m.NewIncremental(nonce)
+	for i := uint64(1); i <= 200; i++ {
+		walk.EncryptBlock(blockOf(byte(i)))
+		z, err := jump.OffsetAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z != walk.offset {
+			t.Fatalf("OffsetAt(%d) diverges from the sequential walk", i)
+		}
+	}
+}
+
+func TestDecryptAtRandomAccess(t *testing.T) {
+	// The oblivious sort's non-sequential reads: decrypt block n/2+1 without
+	// walking there.
+	m := testMode(t)
+	nonce := nonceFrom(104)
+	enc := m.NewIncremental(nonce)
+	const n = 64
+	var cts [n][BlockSize]byte
+	for i := 0; i < n; i++ {
+		cts[i] = enc.EncryptBlock(blockOf(byte(i)))
+	}
+	ro := m.NewIncremental(nonce)
+	for _, i := range []uint64{n/2 + 1, 1, n, 13} {
+		pt, err := ro.DecryptAt(i, cts[i-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt != blockOf(byte(i-1)) {
+			t.Fatalf("DecryptAt(%d) wrong plaintext", i)
+		}
+	}
+}
+
+func TestEncryptAtSwapPreservesTag(t *testing.T) {
+	// A compare-exchange swaps two plaintext blocks in place; since the
+	// checksum is an XOR of plaintexts, the round tag must stay valid —
+	// the property that lets §4.4.1 sort scratch[] under one message.
+	m := testMode(t)
+	nonce := nonceFrom(105)
+	enc := m.NewIncremental(nonce)
+	const n = 8
+	var cts [n][BlockSize]byte
+	for i := 0; i < n; i++ {
+		cts[i] = enc.EncryptBlock(blockOf(byte(i)))
+	}
+	tag := enc.Tag()
+
+	// Swap blocks 2 and 5 (1-indexed 3 and 6) via random-access re-encryption.
+	ro := m.NewIncremental(nonce)
+	p3, err := ro.DecryptAt(3, cts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6, err := ro.DecryptAt(6, cts[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts[2], err = ro.EncryptAt(3, p6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts[5], err = ro.EncryptAt(6, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sequential verifier over the swapped ciphertexts still accepts.
+	dec := m.NewIncremental(nonce)
+	for i := 0; i < n; i++ {
+		dec.DecryptBlock(cts[i])
+	}
+	if err := dec.Verify(tag); err != nil {
+		t.Fatalf("tag after swap: %v", err)
+	}
+}
+
+func TestOffsetAtOutOfRange(t *testing.T) {
+	m := testMode(t)
+	inc := m.NewIncremental(nonceFrom(106))
+	if _, err := inc.OffsetAt(1 << 63); err == nil {
+		t.Fatal("absurd block index accepted")
+	}
+}
+
+func TestIncrementalSavesBlockCipherCalls(t *testing.T) {
+	// Quantify the §4.4.1 saving: n blocks incrementally cost n+2 calls
+	// (base offset + blocks + tag) versus 3n + 2n-ish for per-tuple Seal
+	// (each one-block Seal costs base+pad+tag = block+... = 4 calls here).
+	inner, err := aes.NewCipher(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := &countingBlock{inner: inner}
+	m, err := NewWithCipher(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+
+	cb.calls = 0
+	inc := m.NewIncremental(nonceFrom(1))
+	for i := 0; i < n; i++ {
+		inc.EncryptBlock(blockOf(byte(i)))
+	}
+	inc.Tag()
+	incremental := cb.calls
+
+	cb.calls = 0
+	for i := 0; i < n; i++ {
+		m.Seal(nil, nonceFrom(uint64(i+10)), make([]byte, BlockSize))
+	}
+	perTuple := cb.calls
+
+	if incremental != n+2 {
+		t.Fatalf("incremental calls = %d, want n+2 = %d", incremental, n+2)
+	}
+	if perTuple != 3*n {
+		t.Fatalf("per-tuple calls = %d, want 3n = %d", perTuple, 3*n)
+	}
+	if incremental*2 >= perTuple {
+		t.Fatalf("chaining should cost well under half: %d vs %d", incremental, perTuple)
+	}
+}

@@ -1,0 +1,262 @@
+// Package ocb implements the OCB authenticated-encryption mode of Rogaway,
+// Bellare and Black ("OCB: A Block-Cipher Mode of Operation for Efficient
+// Authenticated Encryption", ACM TISSEC 2003) over any 128-bit block cipher.
+//
+// The paper (§3.3.3) selects OCB over XCBC and IAPM because it needs only
+// m+2 block-cipher calls to process m blocks, and relies on two of its
+// provable properties: ciphertexts are indistinguishable from random bits
+// (so decoy tuples and real result tuples cannot be told apart, and
+// duplicate tuples encrypt differently under fresh nonces), and no adversary
+// can forge a valid (nonce, ciphertext, tag) triple (so the host cannot
+// tamper with tuples undetected).
+//
+// This implementation follows the OCB1 structure described in the paper:
+//
+//	Z[0]     = E_K(N ⊕ E_K(0ⁿ))                    (nonce-derived base offset)
+//	Z[i]     = Z[i-1] ⊕ L(ntz(i))                  (Gray-code offset schedule)
+//	C[i]     = E_K(M[i] ⊕ Z[i]) ⊕ Z[i]             for 1 ≤ i < m
+//	Pad      = E_K(len(M[m]) ⊕ L·x⁻¹ ⊕ Z[m])
+//	C[m]     = M[m] ⊕ (first |M[m]| bits of Pad)
+//	Checksum = M[1] ⊕ … ⊕ M[m-1] ⊕ C[m]0* ⊕ Pad
+//	Tag      = first τ bits of E_K(Checksum ⊕ Z[m])
+//
+// where L = E_K(0ⁿ), L(j) = x^j·L in GF(2¹²⁸), and ntz(i) is the number of
+// trailing zeros of i.
+package ocb
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the cipher block size in bytes; OCB as specified here
+// requires a 128-bit block cipher.
+const BlockSize = 16
+
+// TagSize is the authentication-tag length τ in bytes. We use the full block
+// (τ = 128), the most conservative choice.
+const TagSize = 16
+
+// NonceSize is the nonce length in bytes (one block, per OCB1).
+const NonceSize = 16
+
+var (
+	// ErrAuth is returned when a ciphertext fails tag verification: the
+	// paper's T terminates the computation on this signal (§3.3.1).
+	ErrAuth = errors.New("ocb: message authentication failed")
+	// ErrTooShort is returned for ciphertexts shorter than a tag.
+	ErrTooShort = errors.New("ocb: ciphertext too short")
+)
+
+// Mode is an OCB instance bound to one key. It is safe for concurrent use
+// after construction; all per-message state lives on the stack.
+type Mode struct {
+	block cipher.Block
+	// l[j] = x^j · L precomputed for j up to maxL.
+	l [64][BlockSize]byte
+	// lInv = L · x⁻¹ used in the final-block pad.
+	lInv [BlockSize]byte
+	// encZero = E_K(0^n), mixed into the base offset.
+	encZero [BlockSize]byte
+}
+
+// New constructs an OCB mode over AES with the given 16-, 24- or 32-byte
+// key.
+func New(key []byte) (*Mode, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("ocb: %w", err)
+	}
+	return NewWithCipher(block)
+}
+
+// NewWithCipher constructs an OCB mode over an arbitrary 128-bit block
+// cipher (exposed for tests with instrumented ciphers).
+func NewWithCipher(block cipher.Block) (*Mode, error) {
+	if block.BlockSize() != BlockSize {
+		return nil, fmt.Errorf("ocb: need a %d-byte block cipher, got %d",
+			BlockSize, block.BlockSize())
+	}
+	m := &Mode{block: block}
+	var zero [BlockSize]byte
+	block.Encrypt(m.encZero[:], zero[:])
+	m.l[0] = m.encZero
+	for j := 1; j < len(m.l); j++ {
+		m.l[j] = doubleBlock(m.l[j-1])
+	}
+	m.lInv = halveBlock(m.l[0])
+	return m, nil
+}
+
+// Overhead is the ciphertext expansion in bytes (tag only; the caller
+// transmits the nonce separately or prepends it).
+func (m *Mode) Overhead() int { return TagSize }
+
+// Seal encrypts and authenticates plaintext under the given nonce, appending
+// the result to dst. The output layout is ciphertext || tag; its length is
+// len(plaintext) + TagSize. Nonces must never repeat under one key.
+func (m *Mode) Seal(dst []byte, nonce [NonceSize]byte, plaintext []byte) []byte {
+	offset := m.baseOffset(nonce)
+	var checksum [BlockSize]byte
+
+	out := append(dst, make([]byte, len(plaintext)+TagSize)...)
+	ct := out[len(dst) : len(dst)+len(plaintext)]
+
+	full := len(plaintext) / BlockSize
+	rem := len(plaintext) % BlockSize
+	// When the plaintext is a whole number of blocks, OCB still treats the
+	// last block as the "final" (possibly short) block.
+	if rem == 0 && full > 0 {
+		full--
+		rem = BlockSize
+	}
+
+	var tmp [BlockSize]byte
+	for i := 0; i < full; i++ {
+		offset = xorBlocks(offset, m.l[ntz(uint64(i+1))])
+		pt := plaintext[i*BlockSize : (i+1)*BlockSize]
+		checksum = xorBytes(checksum, pt)
+		copy(tmp[:], pt)
+		tmp = xorBlocks(tmp, offset)
+		m.block.Encrypt(tmp[:], tmp[:])
+		tmp = xorBlocks(tmp, offset)
+		copy(ct[i*BlockSize:], tmp[:])
+	}
+
+	// Final block.
+	offset = xorBlocks(offset, m.l[ntz(uint64(full+1))])
+	var lenBlock [BlockSize]byte
+	binary.BigEndian.PutUint64(lenBlock[8:], uint64(rem)*8)
+	pad := xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
+	m.block.Encrypt(pad[:], pad[:])
+
+	final := plaintext[full*BlockSize:]
+	for i := 0; i < rem; i++ {
+		ct[full*BlockSize+i] = final[i] ^ pad[i]
+	}
+	// Checksum ⊕= C[m]0* ⊕ Pad (per the OCB1 definition quoted in §3.3.3).
+	var cm [BlockSize]byte
+	copy(cm[:], ct[full*BlockSize:full*BlockSize+rem])
+	checksum = xorBlocks(checksum, cm)
+	checksum = xorBlocks(checksum, pad)
+
+	tag := xorBlocks(checksum, offset)
+	m.block.Encrypt(tag[:], tag[:])
+	copy(out[len(dst)+len(plaintext):], tag[:TagSize])
+	return out
+}
+
+// Open verifies and decrypts a Seal output under the given nonce, appending
+// the plaintext to dst. It returns ErrAuth when the tag does not verify.
+func (m *Mode) Open(dst []byte, nonce [NonceSize]byte, sealed []byte) ([]byte, error) {
+	if len(sealed) < TagSize {
+		return nil, ErrTooShort
+	}
+	ct := sealed[:len(sealed)-TagSize]
+	wantTag := sealed[len(sealed)-TagSize:]
+
+	offset := m.baseOffset(nonce)
+	var checksum [BlockSize]byte
+
+	out := append(dst, make([]byte, len(ct))...)
+	pt := out[len(dst):]
+
+	full := len(ct) / BlockSize
+	rem := len(ct) % BlockSize
+	if rem == 0 && full > 0 {
+		full--
+		rem = BlockSize
+	}
+
+	var tmp [BlockSize]byte
+	for i := 0; i < full; i++ {
+		offset = xorBlocks(offset, m.l[ntz(uint64(i+1))])
+		copy(tmp[:], ct[i*BlockSize:(i+1)*BlockSize])
+		tmp = xorBlocks(tmp, offset)
+		m.block.Decrypt(tmp[:], tmp[:])
+		tmp = xorBlocks(tmp, offset)
+		copy(pt[i*BlockSize:], tmp[:])
+		checksum = xorBytes(checksum, pt[i*BlockSize:(i+1)*BlockSize])
+	}
+
+	offset = xorBlocks(offset, m.l[ntz(uint64(full+1))])
+	var lenBlock [BlockSize]byte
+	binary.BigEndian.PutUint64(lenBlock[8:], uint64(rem)*8)
+	pad := xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
+	m.block.Encrypt(pad[:], pad[:])
+
+	for i := 0; i < rem; i++ {
+		pt[full*BlockSize+i] = ct[full*BlockSize+i] ^ pad[i]
+	}
+	var cm [BlockSize]byte
+	copy(cm[:], ct[full*BlockSize:full*BlockSize+rem])
+	checksum = xorBlocks(checksum, cm)
+	checksum = xorBlocks(checksum, pad)
+
+	tag := xorBlocks(checksum, offset)
+	m.block.Encrypt(tag[:], tag[:])
+	if subtle.ConstantTimeCompare(tag[:TagSize], wantTag) != 1 {
+		return nil, ErrAuth
+	}
+	return out, nil
+}
+
+// baseOffset computes Z[0] = E_K(N ⊕ E_K(0ⁿ)).
+func (m *Mode) baseOffset(nonce [NonceSize]byte) [BlockSize]byte {
+	z := xorBlocks(nonce, m.encZero)
+	m.block.Encrypt(z[:], z[:])
+	return z
+}
+
+// ntz returns the number of trailing zeros of i ≥ 1 (the Gray-code offset
+// index of OCB).
+func ntz(i uint64) int { return bits.TrailingZeros64(i) }
+
+// doubleBlock multiplies a block by x in GF(2¹²⁸) with the OCB polynomial
+// x¹²⁸ + x⁷ + x² + x + 1 (constant 0x87).
+func doubleBlock(b [BlockSize]byte) [BlockSize]byte {
+	var out [BlockSize]byte
+	carry := b[0] >> 7
+	for i := 0; i < BlockSize-1; i++ {
+		out[i] = b[i]<<1 | b[i+1]>>7
+	}
+	out[BlockSize-1] = b[BlockSize-1] << 1
+	out[BlockSize-1] ^= carry * 0x87
+	return out
+}
+
+// halveBlock multiplies a block by x⁻¹ in the same field.
+func halveBlock(b [BlockSize]byte) [BlockSize]byte {
+	var out [BlockSize]byte
+	lsb := b[BlockSize-1] & 1
+	for i := BlockSize - 1; i > 0; i-- {
+		out[i] = b[i]>>1 | b[i-1]<<7
+	}
+	out[0] = b[0] >> 1
+	if lsb == 1 {
+		// x⁻¹ = x¹²⁷ + x⁶ + x + 1 for this polynomial.
+		out[0] ^= 0x80
+		out[BlockSize-1] ^= 0x43
+	}
+	return out
+}
+
+func xorBlocks(a, b [BlockSize]byte) [BlockSize]byte {
+	var out [BlockSize]byte
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+func xorBytes(a [BlockSize]byte, b []byte) [BlockSize]byte {
+	for i := range b {
+		a[i] ^= b[i]
+	}
+	return a
+}

@@ -1,0 +1,229 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"ppj/internal/core"
+	"ppj/internal/relation"
+)
+
+func equi(t *testing.T, a, b *relation.Relation) *relation.Equi {
+	t.Helper()
+	eq, err := relation.NewEqui(a.Schema, "key", b.Schema, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eq
+}
+
+func TestPlannerPicksAlg2WhenGammaSmall(t *testing.T) {
+	// γ = 1 (N fits in memory): Algorithm 2 dominates (§4.6.1). Use a band
+	// predicate so Algorithm 3 is not admissible.
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(1), 20, 40, 4)
+	band, err := relation.NewBand(relA.Schema, "key", relB.Schema, "key", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Planner{Memory: 64}.Plan(Query{Predicate: band}, []*relation.Relation{relA, relB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 2 {
+		t.Fatalf("plan = %s, want Algorithm 2", plan)
+	}
+}
+
+func TestPlannerPicksAlg1WhenGammaHuge(t *testing.T) {
+	// §4.6.2: Algorithm 1 wins when γ exceeds 2 + α + 2(log₂ 2α|B|)². With
+	// M = 1 that needs a large match bound: N = 200 over |B| = 300 gives
+	// γ = 200 against a threshold of ~77.
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(2), 30, 300, 200)
+	band, err := relation.NewBand(relA.Schema, "key", relB.Schema, "key", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Planner{Memory: 1}.Plan(Query{Predicate: band}, []*relation.Relation{relA, relB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 1 {
+		t.Fatalf("plan = %s, want Algorithm 1 (γ = 200)", plan)
+	}
+}
+
+func TestPlannerPicksAlg3ForEquijoinLargeGamma(t *testing.T) {
+	// Equijoin with γ >= 4: Algorithm 3 (§4.6.3).
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(3), 30, 60, 24)
+	plan, err := Planner{Memory: 1}.Plan(Query{Predicate: equi(t, relA, relB)},
+		[]*relation.Relation{relA, relB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 3 {
+		t.Fatalf("plan = %s, want Algorithm 3", plan)
+	}
+}
+
+func TestPlannerExactModeUsesCh5(t *testing.T) {
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(4), 10, 20, 3)
+	plan, err := Planner{Memory: 8}.Plan(Query{Predicate: equi(t, relA, relB), Mode: Exact},
+		[]*relation.Relation{relA, relB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm < 4 {
+		t.Fatalf("plan = %s, want a Chapter 5 algorithm", plan)
+	}
+}
+
+func TestPlannerEpsilonUnlocksAlg6(t *testing.T) {
+	// At the paper's own scales (Table 5.2 setting 1: L = 640,000,
+	// S = 6,400, M = 64) Algorithm 5 wins without a privacy budget and
+	// Algorithm 6 wins with one — the planner reproduces Table 5.3's
+	// ordering. (The Plan call only evaluates closed forms plus one
+	// screening pass, so full-scale relations are fine.)
+	relA := relation.NewRelation(relation.KeyedSchema())
+	relB := relation.NewRelation(relation.KeyedSchema())
+	for i := 0; i < 800; i++ {
+		relA.MustAppend(relation.Tuple{relation.IntValue(int64(i % 100)), relation.IntValue(int64(i))})
+		relB.MustAppend(relation.Tuple{relation.IntValue(int64(i % 100)), relation.IntValue(int64(i))})
+	}
+	// Each key 0..99 appears 8x in each relation: S = 100 * 64 = 6400.
+	rels := []*relation.Relation{relA, relB}
+	q := Query{Predicate: equi(t, relA, relB), Mode: Exact}
+	noBudget, err := Planner{Memory: 64}.Plan(q, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noBudget.Algorithm != 5 {
+		t.Fatalf("plan = %s, want Algorithm 5 without a budget", noBudget)
+	}
+	q.Epsilon = 1e-20
+	withBudget, err := Planner{Memory: 64}.Plan(q, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBudget.Algorithm != 6 {
+		t.Fatalf("plan = %s, want Algorithm 6 with ε budget", withBudget)
+	}
+	if withBudget.PredictedCost >= noBudget.PredictedCost {
+		t.Fatal("Algorithm 6 chosen but not cheaper")
+	}
+}
+
+func TestPlannerAggregateSkipsMaterialisation(t *testing.T) {
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(7), 10, 20, 3)
+	plan, err := Planner{Memory: 4}.Plan(Query{
+		Predicate: equi(t, relA, relB),
+		Aggregate: &core.AggSpec{Kind: core.AggCount},
+	}, []*relation.Relation{relA, relB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 0 {
+		t.Fatalf("plan = %s, want aggregate pass", plan)
+	}
+	if plan.PredictedCost != float64(10*20+1) {
+		t.Fatalf("predicted cost %g, want L+1", plan.PredictedCost)
+	}
+	if !strings.Contains(plan.String(), "aggregate") {
+		t.Fatalf("plan string %q", plan.String())
+	}
+}
+
+func TestExecuteMatchesReferenceAcrossRegimes(t *testing.T) {
+	cases := []struct {
+		name string
+		mem  int64
+		mode OutputMode
+		eps  float64
+	}{
+		{"ch4-small-mem", 1, PaddedN, 0},
+		{"ch4-large-mem", 64, PaddedN, 0},
+		{"ch5-exact", 4, Exact, 0},
+		{"ch5-budget", 2, Exact, 1e-9},
+	}
+	relA := relation.GenKeyed(relation.NewRand(8), 12, 5)
+	relB := relation.GenKeyed(relation.NewRand(9), 15, 5)
+	rels := []*relation.Relation{relA, relB}
+	eq := equi(t, relA, relB)
+	want := relation.ReferenceJoin(relA, relB, eq)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, plan, err := Planner{Memory: tc.mem}.Execute(
+				Query{Predicate: eq, Mode: tc.mode, Epsilon: tc.eps}, rels, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relation.SameMultiset(rows, want) {
+				t.Fatalf("%s (plan %s): got %d rows, want %d", tc.name, plan, rows.Len(), want.Len())
+			}
+		})
+	}
+}
+
+func TestExecuteThreeWay(t *testing.T) {
+	mk := func(seed uint64, n int) *relation.Relation {
+		return relation.GenKeyed(relation.NewRand(seed), n, 4)
+	}
+	rels := []*relation.Relation{mk(1, 5), mk(2, 6), mk(3, 4)}
+	mp := relation.MultiPredicateFunc{
+		Fn: func(ts []relation.Tuple) bool {
+			return ts[0][0].I == ts[1][0].I && ts[1][0].I == ts[2][0].I
+		},
+		Desc: "keys all equal",
+	}
+	rows, plan, err := Planner{Memory: 4}.Execute(Query{Multi: mp, Mode: Exact}, rels, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm < 4 {
+		t.Fatalf("three-way plan = %s", plan)
+	}
+	want := relation.ReferenceMultiJoin(rels, mp)
+	if !relation.SameMultiset(rows, want) {
+		t.Fatalf("3-way: got %d rows, want %d", rows.Len(), want.Len())
+	}
+}
+
+func TestExecuteAggregate(t *testing.T) {
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(10), 8, 16, 3)
+	eq := equi(t, relA, relB)
+	res, plan, err := Planner{Memory: 4}.ExecuteAggregate(Query{
+		Predicate: eq,
+		Aggregate: &core.AggSpec{Kind: core.AggCount},
+	}, []*relation.Relation{relA, relB}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 0 {
+		t.Fatalf("plan = %s", plan)
+	}
+	want := relation.ReferenceJoin(relA, relB, eq).Len()
+	if res.Count != int64(want) {
+		t.Fatalf("COUNT = %d, want %d", res.Count, want)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	relA, relB := relation.GenWithMatchBound(relation.NewRand(11), 4, 8, 2)
+	rels := []*relation.Relation{relA, relB}
+	if _, err := (Planner{}).Plan(Query{Predicate: equi(t, relA, relB)}, rels); err == nil {
+		t.Error("zero memory accepted")
+	}
+	if _, err := (Planner{Memory: 4}).Plan(Query{Predicate: equi(t, relA, relB)}, rels[:1]); err == nil {
+		t.Error("single relation accepted")
+	}
+	if _, err := (Planner{Memory: 4}).Plan(Query{}, rels); err == nil {
+		t.Error("missing predicate accepted")
+	}
+	if _, _, err := (Planner{Memory: 4}).Execute(Query{
+		Predicate: equi(t, relA, relB), Aggregate: &core.AggSpec{Kind: core.AggCount},
+	}, rels, 1); err == nil {
+		t.Error("Execute accepted aggregate query")
+	}
+	if _, _, err := (Planner{Memory: 4}).ExecuteAggregate(Query{Predicate: equi(t, relA, relB)}, rels, 1); err == nil {
+		t.Error("ExecuteAggregate accepted row query")
+	}
+}

@@ -1,0 +1,89 @@
+package relation
+
+import "fmt"
+
+// Post-processing helpers for join results: the recipient P_C typically
+// projects the combined rows down to the attributes it needs (e.g. only the
+// matching sequences of the gene-bank application) and filters them
+// locally. These operate on plaintext relations the recipient already owns,
+// so they have no privacy obligations.
+
+// Project returns a new relation keeping only the named attributes, in the
+// given order.
+func Project(r *Relation, names ...string) (*Relation, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("relation: project needs at least one attribute")
+	}
+	idx := make([]int, len(names))
+	attrs := make([]Attr, len(names))
+	for i, name := range names {
+		j := r.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: no attribute %q in %s", name, r.Schema)
+		}
+		idx[i] = j
+		attrs[i] = r.Schema.Attr(j)
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+	for _, row := range r.Rows {
+		t := make(Tuple, len(idx))
+		for i, j := range idx {
+			t[i] = row[j]
+		}
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Select returns the rows satisfying keep.
+func Select(r *Relation, keep func(Tuple) bool) *Relation {
+	out := NewRelation(r.Schema)
+	for _, row := range r.Rows {
+		if keep(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Rename returns a relation whose schema renames one attribute.
+func Rename(r *Relation, from, to string) (*Relation, error) {
+	j := r.Schema.Index(from)
+	if j < 0 {
+		return nil, fmt.Errorf("relation: no attribute %q in %s", from, r.Schema)
+	}
+	attrs := make([]Attr, r.Schema.NumAttrs())
+	for i := range attrs {
+		attrs[i] = r.Schema.Attr(i)
+	}
+	attrs[j].Name = to
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+	out.Rows = r.Rows
+	return out, nil
+}
+
+// Distinct returns the relation with duplicate rows removed (first
+// occurrence kept).
+func Distinct(r *Relation) *Relation {
+	out := NewRelation(r.Schema)
+	seen := make(map[string]bool, r.Len())
+	for _, row := range r.Rows {
+		key := string(r.Schema.MustEncode(row))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package relation
+
+import "testing"
+
+func TestProject(t *testing.T) {
+	r := GenKeyed(NewRand(1), 5, 10)
+	p, err := Project(r, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.NumAttrs() != 1 || p.Schema.Attr(0).Name != "payload" {
+		t.Fatalf("projected schema = %s", p.Schema)
+	}
+	if p.Len() != 5 || p.Rows[2][0].I != r.Rows[2][1].I {
+		t.Fatal("projected values wrong")
+	}
+	// Reordering.
+	p2, err := Project(r, "payload", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Schema.Attr(0).Name != "payload" || p2.Schema.Attr(1).Name != "key" {
+		t.Fatal("attribute order not preserved")
+	}
+	if _, err := Project(r, "nope"); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+	if _, err := Project(r); err == nil {
+		t.Fatal("empty projection accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := GenKeyed(NewRand(2), 20, 4)
+	s := Select(r, func(tup Tuple) bool { return tup[0].I == 0 })
+	for _, row := range s.Rows {
+		if row[0].I != 0 {
+			t.Fatal("select kept non-matching row")
+		}
+	}
+	total := 0
+	for _, row := range r.Rows {
+		if row[0].I == 0 {
+			total++
+		}
+	}
+	if s.Len() != total {
+		t.Fatalf("select kept %d, want %d", s.Len(), total)
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := GenKeyed(NewRand(3), 3, 4)
+	out, err := Rename(r, "key", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Index("id") != 0 || out.Schema.Index("key") != -1 {
+		t.Fatalf("rename schema = %s", out.Schema)
+	}
+	if out.Rows[0][0].I != r.Rows[0][0].I {
+		t.Fatal("rename changed data")
+	}
+	if _, err := Rename(r, "nope", "x"); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+	if _, err := Rename(r, "key", "payload"); err == nil {
+		t.Fatal("rename collision accepted")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := NewRelation(KeyedSchema())
+	for _, k := range []int64{1, 2, 1, 3, 2, 1} {
+		r.MustAppend(Tuple{IntValue(k), IntValue(0)})
+	}
+	d := Distinct(r)
+	if d.Len() != 3 {
+		t.Fatalf("distinct kept %d rows, want 3", d.Len())
+	}
+	if d.Rows[0][0].I != 1 || d.Rows[1][0].I != 2 || d.Rows[2][0].I != 3 {
+		t.Fatal("distinct did not keep first occurrences in order")
+	}
+}

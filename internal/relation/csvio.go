@@ -1,0 +1,135 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file provides CSV import/export with schema inference, used by the
+// ppjoin CLI and available to library users feeding real data into the
+// privacy preserving join service.
+
+// ReadCSV parses a CSV stream with a header row into a relation. Column
+// types are inferred: a column whose every value parses as an integer
+// becomes Int64; failing that, a float column becomes Float64; anything
+// else becomes a String attribute sized to the longest value.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("relation: csv needs a header row")
+	}
+	header, data := records[0], records[1:]
+	attrs := make([]Attr, len(header))
+	for col, name := range header {
+		attrs[col] = inferCSVAttr(strings.TrimSpace(name), data, col)
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := NewRelation(schema)
+	for rowIdx, rec := range data {
+		if len(rec) != len(attrs) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d",
+				rowIdx+2, len(rec), len(attrs))
+		}
+		tuple := make(Tuple, len(attrs))
+		for col, field := range rec {
+			switch attrs[col].Type {
+			case Int64:
+				v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv row %d col %q: %w", rowIdx+2, attrs[col].Name, err)
+				}
+				tuple[col] = IntValue(v)
+			case Float64:
+				v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv row %d col %q: %w", rowIdx+2, attrs[col].Name, err)
+				}
+				tuple[col] = FloatValue(v)
+			default:
+				tuple[col] = StringValue(field)
+			}
+		}
+		if err := rel.Append(tuple); err != nil {
+			return nil, fmt.Errorf("relation: csv row %d: %w", rowIdx+2, err)
+		}
+	}
+	return rel, nil
+}
+
+// inferCSVAttr picks the narrowest type covering every value of a column.
+func inferCSVAttr(name string, data [][]string, col int) Attr {
+	isInt, isFloat := len(data) > 0, len(data) > 0
+	width := 1
+	for _, rec := range data {
+		if col >= len(rec) {
+			continue
+		}
+		field := strings.TrimSpace(rec[col])
+		if _, err := strconv.ParseInt(field, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(field, 64); err != nil {
+			isFloat = false
+		}
+		if len(rec[col]) > width {
+			width = len(rec[col])
+		}
+	}
+	switch {
+	case isInt:
+		return Attr{Name: name, Type: Int64}
+	case isFloat:
+		return Attr{Name: name, Type: Float64}
+	default:
+		return Attr{Name: name, Type: String, Width: width}
+	}
+}
+
+// WriteCSV renders a relation as CSV with a header row. Set-valued
+// attributes are rendered as space-separated elements; Bytes as hex.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, rel.Schema.NumAttrs())
+	for i := range names {
+		names[i] = rel.Schema.Attr(i).Name
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	fields := make([]string, len(names))
+	for _, row := range rel.Rows {
+		for j, v := range row {
+			switch rel.Schema.Attr(j).Type {
+			case Int64:
+				fields[j] = strconv.FormatInt(v.I, 10)
+			case Float64:
+				fields[j] = strconv.FormatFloat(v.F, 'g', -1, 64)
+			case String:
+				fields[j] = v.S
+			case Bytes:
+				fields[j] = fmt.Sprintf("%x", v.B)
+			case Set:
+				elems := normalizeSet(v.SetElems) // canonical order, like Encode
+				parts := make([]string, len(elems))
+				for k, e := range elems {
+					parts[k] = strconv.FormatUint(uint64(e), 10)
+				}
+				fields[j] = strings.Join(parts, " ")
+			}
+		}
+		if err := cw.Write(fields); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

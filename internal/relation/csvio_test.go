@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVInfersTypes(t *testing.T) {
+	in := "id,score,name\n1,2.5,alice\n2,3,bob\n30,-1.25,carol-long-name\n"
+	rel, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	s := rel.Schema
+	if s.Attr(0).Type != Int64 {
+		t.Errorf("id inferred as %s", s.Attr(0).Type)
+	}
+	if s.Attr(1).Type != Float64 {
+		t.Errorf("score inferred as %s", s.Attr(1).Type)
+	}
+	if s.Attr(2).Type != String || s.Attr(2).Width < len("carol-long-name") {
+		t.Errorf("name inferred as %s[%d]", s.Attr(2).Type, s.Attr(2).Width)
+	}
+	if rel.Rows[2][0].I != 30 || rel.Rows[0][1].F != 2.5 || rel.Rows[1][2].S != "bob" {
+		t.Fatalf("values wrong: %+v", rel.Rows)
+	}
+}
+
+func TestReadCSVIntColumnPrefersInt(t *testing.T) {
+	// "1" parses as both int and float; int wins.
+	rel, err := ReadCSV(strings.NewReader("x\n1\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.Attr(0).Type != Int64 {
+		t.Fatalf("x inferred as %s", rel.Schema.Attr(0).Type)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n3\n")); err == nil {
+		t.Error("ragged row accepted (csv reader should reject)")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	rel, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	// With no data rows, columns default to strings.
+	if rel.Schema.Attr(0).Type != String {
+		t.Fatalf("empty column inferred as %s", rel.Schema.Attr(0).Type)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := NewRelation(KeyedSchema())
+	rel.MustAppend(Tuple{IntValue(1), IntValue(-5)})
+	rel.MustAppend(Tuple{IntValue(2), IntValue(99)})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameMultiset(rel, back) {
+		t.Fatalf("round trip lost rows:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSVAllTypes(t *testing.T) {
+	s := MustSchema(
+		Attr{Name: "i", Type: Int64},
+		Attr{Name: "f", Type: Float64},
+		Attr{Name: "s", Type: String, Width: 8},
+		Attr{Name: "b", Type: Bytes, Width: 2},
+		Attr{Name: "set", Type: Set, Width: 4},
+	)
+	rel := NewRelation(s)
+	rel.MustAppend(Tuple{IntValue(7), FloatValue(1.5), StringValue("x"),
+		BytesValue([]byte{0xAB, 0xCD}), SetValue(3, 1)})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"7", "1.5", "x", "abcd", "1 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// The generators below synthesise the workloads the paper's introduction
+// motivates: watch lists vs. passenger manifests, and gene-bank sequences vs.
+// patient records. Production traces of either are obviously unavailable, so
+// the generators produce size- and skew-controlled synthetic stand-ins that
+// exercise the same predicates (equality, band, Jaccard similarity).
+
+// Rand is the subset of math/rand/v2.Rand the generators need, so tests can
+// substitute deterministic sources.
+type Rand interface {
+	Int64N(n int64) int64
+	IntN(n int) int
+	Uint32() uint32
+	Float64() float64
+}
+
+var _ Rand = (*rand.Rand)(nil)
+
+// NewRand returns a deterministic generator seeded from two words.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// PersonSchema returns the schema used by the watch-list workloads:
+// (id int64, name string[24], dob int64, passport string[12]).
+func PersonSchema() *Schema {
+	return MustSchema(
+		Attr{Name: "id", Type: Int64},
+		Attr{Name: "name", Type: String, Width: 24},
+		Attr{Name: "dob", Type: Int64},
+		Attr{Name: "passport", Type: String, Width: 12},
+	)
+}
+
+// GenPersons generates n synthetic person records with ids drawn uniformly
+// from [0, idSpace). Smaller idSpace forces more matches when two generated
+// relations are equijoined on id.
+func GenPersons(rng Rand, n int, idSpace int64) *Relation {
+	r := NewRelation(PersonSchema())
+	for i := 0; i < n; i++ {
+		id := rng.Int64N(idSpace)
+		r.MustAppend(Tuple{
+			IntValue(id),
+			StringValue(fmt.Sprintf("person-%06d", id)),
+			IntValue(19000101 + rng.Int64N(1000000)),
+			StringValue(fmt.Sprintf("P%08d", rng.Int64N(100000000))),
+		})
+	}
+	return r
+}
+
+// SequenceSchema returns the schema used by the genomics workloads:
+// (seqid int64, kmer set[K]).
+func SequenceSchema(k int) *Schema {
+	return MustSchema(
+		Attr{Name: "seqid", Type: Int64},
+		Attr{Name: "kmers", Type: Set, Width: k},
+	)
+}
+
+// GenSequences generates n synthetic sequences as k-mer sets of cardinality
+// card drawn from a vocabulary of vocab shingles. With a small vocabulary,
+// Jaccard-similar pairs appear frequently.
+func GenSequences(rng Rand, n, card, capacity int, vocab uint32) *Relation {
+	r := NewRelation(SequenceSchema(capacity))
+	for i := 0; i < n; i++ {
+		elems := make([]uint32, card)
+		for j := range elems {
+			elems[j] = rng.Uint32() % vocab
+		}
+		r.MustAppend(Tuple{IntValue(int64(i)), SetValue(elems...)})
+	}
+	return r
+}
+
+// KeyedSchema returns the minimal (key int64, payload int64) schema used by
+// most algorithm tests and by the cost-validation workloads.
+func KeyedSchema() *Schema {
+	return MustSchema(
+		Attr{Name: "key", Type: Int64},
+		Attr{Name: "payload", Type: Int64},
+	)
+}
+
+// GenKeyed generates n rows with keys uniform in [0, keySpace).
+func GenKeyed(rng Rand, n int, keySpace int64) *Relation {
+	r := NewRelation(KeyedSchema())
+	for i := 0; i < n; i++ {
+		r.MustAppend(Tuple{IntValue(rng.Int64N(keySpace)), IntValue(int64(i))})
+	}
+	return r
+}
+
+// GenKeyedZipf generates n rows with keys following an approximate Zipf
+// distribution over [0, keySpace), producing the skew that defeats the unsafe
+// grace-hash partitioning of §4.5.1.
+func GenKeyedZipf(rng Rand, n int, keySpace int64, s float64) *Relation {
+	// Inverse-CDF sampling over the (truncated) Zipf mass function.
+	weights := make([]float64, keySpace)
+	var total float64
+	for k := int64(0); k < keySpace; k++ {
+		w := 1.0 / math.Pow(float64(k+1), s)
+		weights[k] = w
+		total += w
+	}
+	r := NewRelation(KeyedSchema())
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * total
+		var acc float64
+		key := keySpace - 1
+		for k := int64(0); k < keySpace; k++ {
+			acc += weights[k]
+			if u <= acc {
+				key = k
+				break
+			}
+		}
+		r.MustAppend(Tuple{IntValue(key), IntValue(int64(i))})
+	}
+	return r
+}
+
+// GenWithMatchBound generates a pair of keyed relations (A, B) of sizes nA
+// and nB such that the maximum number of B tuples matching any single A tuple
+// on an id equijoin is exactly wantN (the paper's parameter N, §4.1), and the
+// total number of joining pairs is controlled. It is used by the Chapter 4
+// algorithm tests, which need a known N.
+func GenWithMatchBound(rng Rand, nA, nB, wantN int) (*Relation, *Relation) {
+	if wantN > nB {
+		panic("relation: wantN exceeds |B|")
+	}
+	a := NewRelation(KeyedSchema())
+	b := NewRelation(KeyedSchema())
+	// A keys are 0..nA-1; give key 0 exactly wantN matches in B, spread the
+	// remaining B rows over non-joining keys >= nA so no key exceeds wantN.
+	for i := 0; i < nA; i++ {
+		a.MustAppend(Tuple{IntValue(int64(i)), IntValue(int64(1000 + i))})
+	}
+	for j := 0; j < wantN; j++ {
+		b.MustAppend(Tuple{IntValue(0), IntValue(int64(2000 + j))})
+	}
+	for j := wantN; j < nB; j++ {
+		// Random matches for other A keys, capped below wantN by giving each
+		// remaining A key at most wantN-1 rows, else park on a non-key.
+		if wantN > 1 && nA > 1 && rng.IntN(2) == 0 {
+			k := 1 + rng.IntN(nA-1)
+			if countKey(b, int64(k)) < wantN-1 {
+				b.MustAppend(Tuple{IntValue(int64(k)), IntValue(int64(2000 + j))})
+				continue
+			}
+		}
+		b.MustAppend(Tuple{IntValue(int64(nA) + rng.Int64N(1<<30)), IntValue(int64(2000 + j))})
+	}
+	return a, b
+}
+
+func countKey(r *Relation, key int64) int {
+	n := 0
+	for _, t := range r.Rows {
+		if t[0].I == key {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package relation
+
+import "fmt"
+
+// ReferenceJoin computes the plaintext nested-loop join of A and B under
+// pred, composing matching rows with JoinTuples. It is the correctness
+// oracle against which every privacy preserving algorithm is tested; it has
+// no privacy properties of its own.
+func ReferenceJoin(a, b *Relation, pred Predicate) *Relation {
+	outSchema, err := Concat(a.Schema, b.Schema)
+	if err != nil {
+		panic(fmt.Sprintf("relation: reference join schema: %v", err))
+	}
+	out := NewRelation(outSchema)
+	for _, ta := range a.Rows {
+		for _, tb := range b.Rows {
+			if pred.Match(ta, tb) {
+				out.MustAppend(JoinTuples(ta, tb))
+			}
+		}
+	}
+	return out
+}
+
+// ReferenceMultiJoin computes the plaintext J-way join over the cartesian
+// product of tables, in row-major iTuple order (the fixed order of §5.2.1).
+func ReferenceMultiJoin(tables []*Relation, pred MultiPredicate) *Relation {
+	schemas := make([]*Schema, len(tables))
+	for i, t := range tables {
+		schemas[i] = t.Schema
+	}
+	outSchema, err := Concat(schemas...)
+	if err != nil {
+		panic(fmt.Sprintf("relation: reference multi join schema: %v", err))
+	}
+	out := NewRelation(outSchema)
+	idx := make([]int, len(tables))
+	row := make([]Tuple, len(tables))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(tables) {
+			if pred.Satisfy(row) {
+				out.MustAppend(JoinTuples(row...))
+			}
+			return
+		}
+		for idx[d] = 0; idx[d] < tables[d].Len(); idx[d]++ {
+			row[d] = tables[d].Rows[idx[d]]
+			walk(d + 1)
+		}
+	}
+	if len(tables) > 0 {
+		walk(0)
+	}
+	return out
+}
+
+// MaxMatches computes N, the maximum number of B tuples matching any single
+// A tuple (§4.1). The paper notes a safe way to compute N is a nested loop
+// that outputs nothing; this is that computation, run by T as preprocessing.
+func MaxMatches(a, b *Relation, pred Predicate) int {
+	maxN := 0
+	for _, ta := range a.Rows {
+		n := 0
+		for _, tb := range b.Rows {
+			if pred.Match(ta, tb) {
+				n++
+			}
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}
+
+// CountMultiMatches computes S = |f(X₁,…,X_J)|, the exact join size over the
+// cartesian product, as Algorithm 6's screening pass does.
+func CountMultiMatches(tables []*Relation, pred MultiPredicate) int64 {
+	var s int64
+	row := make([]Tuple, len(tables))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(tables) {
+			if pred.Satisfy(row) {
+				s++
+			}
+			return
+		}
+		for i := 0; i < tables[d].Len(); i++ {
+			row[d] = tables[d].Rows[i]
+			walk(d + 1)
+		}
+	}
+	if len(tables) > 0 {
+		walk(0)
+	}
+	return s
+}
+
+// Multiset summarises a relation's rows as canonical-encoding strings with
+// multiplicities, so joins can be compared order-insensitively.
+func Multiset(r *Relation) map[string]int {
+	m := make(map[string]int, r.Len())
+	for _, t := range r.Rows {
+		m[string(r.Schema.MustEncode(t))]++
+	}
+	return m
+}
+
+// SameMultiset reports whether two relations contain the same rows with the
+// same multiplicities (schema equality required).
+func SameMultiset(a, b *Relation) bool {
+	if !a.Schema.Equal(b.Schema) || a.Len() != b.Len() {
+		return false
+	}
+	ma, mb := Multiset(a), Multiset(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attr
+		ok    bool
+	}{
+		{"empty", nil, false},
+		{"one int", []Attr{{Name: "a", Type: Int64}}, true},
+		{"unnamed", []Attr{{Type: Int64}}, false},
+		{"duplicate", []Attr{{Name: "a", Type: Int64}, {Name: "a", Type: Float64}}, false},
+		{"string no width", []Attr{{Name: "s", Type: String}}, false},
+		{"string ok", []Attr{{Name: "s", Type: String, Width: 8}}, true},
+		{"set ok", []Attr{{Name: "s", Type: Set, Width: 4}}, true},
+		{"bad type", []Attr{{Name: "x", Type: AttrType(99)}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchema(tc.attrs...)
+			if (err == nil) != tc.ok {
+				t.Fatalf("NewSchema(%v) error = %v, want ok=%v", tc.attrs, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestSchemaTupleSize(t *testing.T) {
+	s := MustSchema(
+		Attr{Name: "i", Type: Int64},
+		Attr{Name: "f", Type: Float64},
+		Attr{Name: "s", Type: String, Width: 10},
+		Attr{Name: "b", Type: Bytes, Width: 3},
+		Attr{Name: "set", Type: Set, Width: 4},
+	)
+	want := 8 + 8 + 10 + 3 + (2 + 16)
+	if got := s.TupleSize(); got != want {
+		t.Fatalf("TupleSize = %d, want %d", got, want)
+	}
+}
+
+func TestSchemaIndexAndAttr(t *testing.T) {
+	s := MustSchema(Attr{Name: "a", Type: Int64}, Attr{Name: "b", Type: Float64})
+	if s.Index("a") != 0 || s.Index("b") != 1 {
+		t.Fatalf("Index positions wrong: a=%d b=%d", s.Index("a"), s.Index("b"))
+	}
+	if s.Index("missing") != -1 {
+		t.Fatalf("Index(missing) = %d, want -1", s.Index("missing"))
+	}
+	if s.Attr(1).Name != "b" {
+		t.Fatalf("Attr(1).Name = %q", s.Attr(1).Name)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Attr{Name: "x", Type: Int64})
+	b := MustSchema(Attr{Name: "x", Type: Int64})
+	c := MustSchema(Attr{Name: "x", Type: Float64})
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different schemas Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) true")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Attr{Name: "id", Type: Int64}, Attr{Name: "nm", Type: String, Width: 5})
+	got := s.String()
+	if !strings.Contains(got, "id int64") || !strings.Contains(got, "nm string[5]") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustSchema(Attr{Name: "id", Type: Int64})
+	b := MustSchema(Attr{Name: "id", Type: Int64}, Attr{Name: "v", Type: Float64})
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumAttrs() != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", c.NumAttrs())
+	}
+	if c.Index("t0_id") != 0 || c.Index("t1_id") != 1 || c.Index("t1_v") != 2 {
+		t.Fatalf("concat names wrong: %s", c)
+	}
+	if c.TupleSize() != a.TupleSize()+b.TupleSize() {
+		t.Fatalf("TupleSize = %d", c.TupleSize())
+	}
+	if _, err := Concat(a, nil); err == nil {
+		t.Fatal("Concat with nil schema should error")
+	}
+}

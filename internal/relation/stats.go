@@ -1,0 +1,65 @@
+package relation
+
+import "fmt"
+
+// Join-size statistics. The planner needs S (and N) to price the
+// algorithms; for equijoins both are computable from per-key histograms in
+// O(|A| + |B|) instead of the O(|A||B|) nested loop the paper's
+// preprocessing uses (§4.3) — an exact shortcut, not an estimate, because
+// the equijoin size is Σ_k cntA(k)·cntB(k) and the match bound is
+// max_k cntB(k) over keys present in A.
+
+// KeyHistogram counts the occurrences of each value of an Int64 attribute.
+func KeyHistogram(r *Relation, attr string) (map[int64]int64, error) {
+	idx := r.Schema.Index(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("relation: no attribute %q in %s", attr, r.Schema)
+	}
+	if r.Schema.Attr(idx).Type != Int64 {
+		return nil, fmt.Errorf("relation: histogram needs an Int64 attribute, %q is %s",
+			attr, r.Schema.Attr(idx).Type)
+	}
+	h := make(map[int64]int64)
+	for _, row := range r.Rows {
+		h[row[idx].I]++
+	}
+	return h, nil
+}
+
+// EquijoinSize computes the exact size of A ⋈ B on an Int64 equijoin from
+// the two key histograms.
+func EquijoinSize(a *Relation, attrA string, b *Relation, attrB string) (int64, error) {
+	ha, err := KeyHistogram(a, attrA)
+	if err != nil {
+		return 0, err
+	}
+	hb, err := KeyHistogram(b, attrB)
+	if err != nil {
+		return 0, err
+	}
+	var s int64
+	for k, ca := range ha {
+		s += ca * hb[k]
+	}
+	return s, nil
+}
+
+// EquijoinMatchBound computes the exact N of §4.1 for an Int64 equijoin:
+// the largest number of B rows joining any single A row.
+func EquijoinMatchBound(a *Relation, attrA string, b *Relation, attrB string) (int64, error) {
+	ha, err := KeyHistogram(a, attrA)
+	if err != nil {
+		return 0, err
+	}
+	hb, err := KeyHistogram(b, attrB)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for k := range ha {
+		if hb[k] > n {
+			n = hb[k]
+		}
+	}
+	return n, nil
+}

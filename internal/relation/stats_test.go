@@ -1,0 +1,55 @@
+package relation
+
+import "testing"
+
+func TestKeyHistogram(t *testing.T) {
+	r := NewRelation(KeyedSchema())
+	for _, k := range []int64{1, 2, 2, 3, 3, 3} {
+		r.MustAppend(Tuple{IntValue(k), IntValue(0)})
+	}
+	h, err := KeyHistogram(r, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[1] != 1 || h[2] != 2 || h[3] != 3 || len(h) != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if _, err := KeyHistogram(r, "nope"); err == nil {
+		t.Error("missing attribute accepted")
+	}
+	p := GenPersons(NewRand(1), 3, 5)
+	if _, err := KeyHistogram(p, "name"); err == nil {
+		t.Error("non-int attribute accepted")
+	}
+}
+
+func TestEquijoinSizeMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		a := GenKeyed(NewRand(seed), 15, 6)
+		b := GenKeyed(NewRand(seed+100), 20, 6)
+		got, err := EquijoinSize(a, "key", b, "key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, _ := NewEqui(a.Schema, "key", b.Schema, "key")
+		want := int64(ReferenceJoin(a, b, eq).Len())
+		if got != want {
+			t.Fatalf("seed %d: EquijoinSize = %d, reference = %d", seed, got, want)
+		}
+	}
+}
+
+func TestEquijoinMatchBoundMatchesMaxMatches(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		a, b := GenWithMatchBound(NewRand(seed), 7, 25, 4+int(seed%3))
+		got, err := EquijoinMatchBound(a, "key", b, "key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, _ := NewEqui(a.Schema, "key", b.Schema, "key")
+		want := int64(MaxMatches(a, b, eq))
+		if got != want {
+			t.Fatalf("seed %d: EquijoinMatchBound = %d, MaxMatches = %d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package secop
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func loadedDevice(t *testing.T) (*Device, ExpectedStack) {
+	t.Helper()
+	d, err := NewDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := []CodeImage{
+		{Layer: Miniboot, Name: "miniboot-v1", Code: []byte("mb")},
+		{Layer: OS, Name: "cp/q-v2", Code: []byte("os")},
+		{Layer: App, Name: "ppjoin-v1", Code: []byte("join code")},
+	}
+	exp := ExpectedStack{}
+	for _, img := range images {
+		if err := d.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		exp[img.Layer] = img.Digest()
+	}
+	return d, exp
+}
+
+func TestAttestationVerifies(t *testing.T) {
+	d, exp := loadedDevice(t)
+	challenge := []byte("nonce-123")
+	att, err := d.Attest(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(d.DeviceKey(), exp, att, challenge); err != nil {
+		t.Fatalf("valid attestation rejected: %v", err)
+	}
+}
+
+func TestAttestationRejectsWrongCode(t *testing.T) {
+	d, exp := loadedDevice(t)
+	// Relying party expects different app code.
+	exp[App] = CodeImage{Layer: App, Name: "evil", Code: []byte("x")}.Digest()
+	att, err := d.Attest([]byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Verify(d.DeviceKey(), exp, att, []byte("c"))
+	if err == nil || !strings.Contains(err.Error(), "unexpected code") {
+		t.Fatalf("wrong code accepted: %v", err)
+	}
+}
+
+func TestAttestationRejectsWrongDevice(t *testing.T) {
+	d1, exp := loadedDevice(t)
+	d2, _ := loadedDevice(t)
+	att, err := d1.Attest([]byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(d2.DeviceKey(), exp, att, []byte("c")) == nil {
+		t.Fatal("attestation accepted under wrong device key")
+	}
+}
+
+func TestAttestationRejectsReplay(t *testing.T) {
+	d, exp := loadedDevice(t)
+	att, err := d.Attest([]byte("old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(d.DeviceKey(), exp, att, []byte("fresh")) == nil {
+		t.Fatal("replayed attestation accepted")
+	}
+}
+
+func TestAttestationRejectsTamperedChain(t *testing.T) {
+	d, exp := loadedDevice(t)
+	att, err := d.Attest([]byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Chain[App].SubjectName = "renamed"
+	att.Chain[App].SubjectDigest = CodeImage{Layer: App, Name: "renamed", Code: []byte("y")}.Digest()
+	exp[App] = att.Chain[App].SubjectDigest
+	if Verify(d.DeviceKey(), exp, att, []byte("c")) == nil {
+		t.Fatal("tampered chain accepted")
+	}
+}
+
+func TestBootOrderEnforced(t *testing.T) {
+	d, err := NewDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(CodeImage{Layer: App, Name: "app", Code: []byte("x")}); err == nil {
+		t.Fatal("app loaded before miniboot")
+	}
+	if err := d.Load(CodeImage{Layer: OS, Name: "os", Code: []byte("x")}); err == nil {
+		t.Fatal("os loaded before miniboot")
+	}
+	if _, err := d.Attest([]byte("c")); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("attest on empty device: %v", err)
+	}
+}
+
+func TestReloadInvalidatesUpperLayers(t *testing.T) {
+	d, _ := loadedDevice(t)
+	// Reloading the OS must drop the app layer.
+	if err := d.Load(CodeImage{Layer: OS, Name: "cp/q-v3", Code: []byte("os2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Attest([]byte("c")); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("attest after OS reload should need app reload: %v", err)
+	}
+}
+
+func TestTamperZeroizes(t *testing.T) {
+	d, _ := loadedDevice(t)
+	d.Tamper()
+	if !d.Zeroized() {
+		t.Fatal("device not zeroized")
+	}
+	if _, err := d.Attest([]byte("c")); !errors.Is(err, ErrZeroized) {
+		t.Fatalf("attest after tamper: %v", err)
+	}
+	if err := d.Load(CodeImage{Layer: Miniboot, Name: "mb", Code: []byte("x")}); !errors.Is(err, ErrZeroized) {
+		t.Fatalf("load after tamper: %v", err)
+	}
+	if _, err := d.AppSign([]byte("x")); !errors.Is(err, ErrZeroized) {
+		t.Fatalf("sign after tamper: %v", err)
+	}
+}
+
+func TestAppSignVerifiable(t *testing.T) {
+	d, _ := loadedDevice(t)
+	sig, err := d.AppSign([]byte("session params"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := d.AppKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, _ := d.Attest([]byte("c"))
+	if !att.Chain[App].SubjectKey.Equal(key) {
+		t.Fatal("AppKey does not match attested key")
+	}
+	_ = sig
+}
+
+func TestDigestDependsOnNameAndCode(t *testing.T) {
+	a := CodeImage{Layer: App, Name: "x", Code: []byte("code")}
+	b := CodeImage{Layer: App, Name: "y", Code: []byte("code")}
+	c := CodeImage{Layer: App, Name: "x", Code: []byte("CODE")}
+	if a.Digest() == b.Digest() || a.Digest() == c.Digest() {
+		t.Fatal("digest collisions across distinct images")
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	if Miniboot.String() != "miniboot" || OS.String() != "os" || App.String() != "app" {
+		t.Fatal("layer names wrong")
+	}
+}

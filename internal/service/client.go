@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"ppj/internal/core"
+	"ppj/internal/relation"
+	"ppj/internal/secop"
+)
+
+// Client is a service requestor: a data owner or a result recipient. It
+// pins the device's public key and the expected software measurements out
+// of band (the manufacturer publishes the device key; the join application
+// is open source and its digest well known).
+type Client struct {
+	Name      string
+	Identity  ed25519.PrivateKey
+	DeviceKey ed25519.PublicKey
+	Expected  secop.ExpectedStack
+}
+
+// ClientSession is an authenticated channel to the attested coprocessor.
+type ClientSession struct {
+	client *Client
+	sess   *session
+}
+
+// Connect performs the handshake of §3.3.3: the client challenges the
+// device, verifies its outbound authentication chain against the pinned
+// measurements, and establishes an X25519 session key whose server share is
+// signed by the attested application layer. The host relaying the traffic
+// learns nothing but ciphertext.
+func (c *Client) Connect(conn io.ReadWriter, role Role) (*ClientSession, error) {
+	sess := newSession(conn)
+	challenge := make([]byte, 32)
+	if _, err := rand.Read(challenge); err != nil {
+		return nil, err
+	}
+	if err := sess.enc.Encode(helloMsg{Party: c.Name, Role: role, Challenge: challenge}); err != nil {
+		return nil, err
+	}
+	var auth serverAuthMsg
+	if err := sess.dec.Decode(&auth); err != nil {
+		return nil, fmt.Errorf("service: reading attestation: %w", err)
+	}
+	var att secop.Attestation
+	if err := gob.NewDecoder(bytes.NewReader(auth.AttChainGob)).Decode(&att); err != nil {
+		return nil, fmt.Errorf("service: decoding attestation: %w", err)
+	}
+	if err := secop.Verify(c.DeviceKey, c.Expected, att, challenge); err != nil {
+		return nil, fmt.Errorf("service: attestation rejected: %w", err)
+	}
+	appKey := att.Chain[secop.App].SubjectKey
+	if !ed25519.Verify(appKey, append(append([]byte(nil), challenge...), auth.ECDHPub...), auth.Sig) {
+		return nil, errors.New("service: key agreement not bound to attested code")
+	}
+
+	eph, err := newECDHKey()
+	if err != nil {
+		return nil, err
+	}
+	transcript := append(append([]byte(nil), auth.ECDHPub...), eph.PublicKey().Bytes()...)
+	if err := sess.enc.Encode(clientKeyMsg{
+		ECDHPub: eph.PublicKey().Bytes(),
+		Sig:     ed25519.Sign(c.Identity, transcript),
+	}); err != nil {
+		return nil, err
+	}
+	serverPub, err := ecdh.X25519().NewPublicKey(auth.ECDHPub)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := eph.ECDH(serverPub)
+	if err != nil {
+		return nil, err
+	}
+	key := deriveSessionKey(shared, auth.ECDHPub, eph.PublicKey().Bytes())
+	sealDir, err := newSessionSealer(key, 'c')
+	if err != nil {
+		return nil, err
+	}
+	open, err := newSessionSealer(key, 's')
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{client: c, sess: &session{enc: sess.enc, dec: sess.dec, sealer: sealDir, opener: open}}, nil
+}
+
+// SubmitRelation uploads a provider's relation under the session key, each
+// row bound to the contract ID.
+func (cs *ClientSession) SubmitRelation(contractID string, rel *relation.Relation) error {
+	encs, err := rel.EncodeAll()
+	if err != nil {
+		return err
+	}
+	msg := dataMsg{ContractID: contractID, Schema: toWire(rel.Schema), Rows: make([][]byte, len(encs))}
+	prefix := []byte(contractID)
+	for i, e := range encs {
+		pt := append(append([]byte(nil), prefix...), e...)
+		msg.Rows[i] = cs.sess.sealer.seal(pt)
+	}
+	return cs.sess.enc.Encode(msg)
+}
+
+// ReceiveResult waits for the recipient's result, decrypts it, drops decoy
+// oTuples (for the padded Chapter 4 algorithms), and returns the exact join
+// rows.
+func (cs *ClientSession) ReceiveResult() (*relation.Relation, error) {
+	var msg resultMsg
+	if err := cs.sess.dec.Decode(&msg); err != nil {
+		return nil, fmt.Errorf("service: reading result: %w", err)
+	}
+	if msg.Err != "" {
+		return nil, fmt.Errorf("service: join failed: %s", msg.Err)
+	}
+	schema, err := msg.Schema.schema()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewRelation(schema)
+	for i, ct := range msg.Rows {
+		cell, err := cs.sess.opener.open(ct)
+		if err != nil {
+			return nil, fmt.Errorf("service: result row %d: %w", i, err)
+		}
+		if !core.IsReal(cell) {
+			continue // decoy: "decrypted and filtered out by the recipient" (§4.3)
+		}
+		row, err := schema.Decode(core.Payload(cell))
+		if err != nil {
+			return nil, fmt.Errorf("service: result row %d: %w", i, err)
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AggOutcome is a delivered aggregate statistic.
+type AggOutcome struct {
+	Count int64
+	Value float64
+	Valid bool
+}
+
+// ReceiveAggregate waits for an "aggregate" contract's result: a single
+// statistic, decrypted under the session key.
+func (cs *ClientSession) ReceiveAggregate() (AggOutcome, error) {
+	var msg resultMsg
+	if err := cs.sess.dec.Decode(&msg); err != nil {
+		return AggOutcome{}, fmt.Errorf("service: reading aggregate: %w", err)
+	}
+	if msg.Err != "" {
+		return AggOutcome{}, fmt.Errorf("service: aggregate failed: %s", msg.Err)
+	}
+	if msg.Agg == nil {
+		return AggOutcome{}, errors.New("service: result carries rows, not an aggregate")
+	}
+	cell, err := cs.sess.opener.open(msg.Agg)
+	if err != nil {
+		return AggOutcome{}, err
+	}
+	return decodeAggCell(cell)
+}
+
+// NewIdentity draws an ed25519 identity key pair for a party.
+func NewIdentity() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(rand.Reader)
+}

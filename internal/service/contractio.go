@@ -1,0 +1,50 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Contracts are long-lived artefacts — "contracts are kept encrypted at the
+// server" (§3.3.3) — so they need a stable serialisation that parties can
+// sign, archive and re-verify. JSON is used here; the signatures cover
+// SigningPayload (a canonical hash of the fields), not the JSON bytes, so
+// formatting is irrelevant to validity.
+
+// MarshalContract serialises a contract (including signatures).
+func MarshalContract(c *Contract) ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// UnmarshalContract parses a serialised contract and re-checks its data
+// owners' signatures.
+func UnmarshalContract(data []byte) (*Contract, error) {
+	var c Contract
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("service: parsing contract: %w", err)
+	}
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteContract writes a contract to w.
+func WriteContract(w io.Writer, c *Contract) error {
+	data, err := MarshalContract(c)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadContract reads and verifies a contract from r.
+func ReadContract(r io.Reader) (*Contract, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalContract(data)
+}

@@ -1,0 +1,313 @@
+// Package service implements the paper's secure information-sharing service
+// (§3.2): a service provider consisting of an untrusted host H with an
+// attached secure coprocessor T, and any number of service requestors —
+// data owners who submit encrypted relations, and a designated recipient
+// P_C who receives the join result. The only trusted component is the
+// coprocessor: providers verify its outbound authentication (§2.2.2/§3.3.3)
+// before releasing data, establish per-party session keys with it over
+// X25519, and encrypt their tuples so the host never sees plaintext. A
+// digital contract signed by all data owners prescribes what is joined, how,
+// and who receives the result (§3.3.3); T is its arbiter.
+package service
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ppj/internal/core"
+	"ppj/internal/ocb"
+	"ppj/internal/relation"
+)
+
+// Role distinguishes the two kinds of service requestors.
+type Role string
+
+const (
+	// RoleProvider submits a relation.
+	RoleProvider Role = "provider"
+	// RoleRecipient receives the join result.
+	RoleRecipient Role = "recipient"
+)
+
+// PredicateSpec names a join predicate in a contract. The coprocessor
+// instantiates it against the submitted schemas.
+type PredicateSpec struct {
+	// Kind is one of "equi", "band", "lessthan", "jaccard".
+	Kind string
+	// AttrA and AttrB name the join attributes of the first and second
+	// relation.
+	AttrA, AttrB string
+	// Param carries the band width or Jaccard threshold.
+	Param float64
+}
+
+// Build instantiates the predicate for two schemas.
+func (p PredicateSpec) Build(sa, sb *relation.Schema) (relation.Predicate, error) {
+	switch p.Kind {
+	case "equi":
+		return relation.NewEqui(sa, p.AttrA, sb, p.AttrB)
+	case "band":
+		return relation.NewBand(sa, p.AttrA, sb, p.AttrB, p.Param)
+	case "lessthan":
+		return relation.NewLessThan(sa, p.AttrA, sb, p.AttrB)
+	case "jaccard":
+		return relation.NewJaccard(sa, p.AttrA, sb, p.AttrB, p.Param)
+	default:
+		return nil, fmt.Errorf("service: unknown predicate kind %q", p.Kind)
+	}
+}
+
+// Party identifies a contract participant by name and ed25519 identity.
+type Party struct {
+	Name     string
+	Identity ed25519.PublicKey
+	Role     Role
+}
+
+// AggregateSpec names an aggregate computation in a contract: the
+// statistic kind (COUNT, SUM, MIN, MAX, AVG), and for all but COUNT the
+// provider index and attribute aggregated over.
+type AggregateSpec struct {
+	Kind  string
+	Table int
+	Attr  string
+}
+
+// Contract is the digital contract of §3.3.3 "prescribing what data can be
+// shared and which computations are permissible". Data owners co-sign it;
+// the coprocessor holds a copy and serves as its arbiter.
+type Contract struct {
+	ID        string
+	Parties   []Party
+	Predicate PredicateSpec
+	// Algorithm selects the join algorithm: "alg1".."alg6", or "aggregate"
+	// to compute only the contracted statistic (the recipient then learns
+	// one number, never the joined rows).
+	Algorithm string
+	// Epsilon is Algorithm 6's privacy trade-off parameter.
+	Epsilon float64
+	// Aggregate is required when Algorithm is "aggregate".
+	Aggregate AggregateSpec
+	// Signatures[i] is party i's signature over SigningPayload (data owners
+	// must sign; the recipient's signature is optional).
+	Signatures [][]byte
+}
+
+// SigningPayload serialises the signed portion of the contract.
+func (c *Contract) SigningPayload() []byte {
+	h := sha256.New()
+	io.WriteString(h, c.ID)
+	for _, p := range c.Parties {
+		io.WriteString(h, p.Name)
+		io.WriteString(h, string(p.Role))
+		h.Write(p.Identity)
+	}
+	io.WriteString(h, c.Predicate.Kind)
+	io.WriteString(h, c.Predicate.AttrA)
+	io.WriteString(h, c.Predicate.AttrB)
+	fmt.Fprintf(h, "%g", c.Predicate.Param)
+	io.WriteString(h, c.Algorithm)
+	fmt.Fprintf(h, "%g", c.Epsilon)
+	io.WriteString(h, c.Aggregate.Kind)
+	fmt.Fprintf(h, "%d", c.Aggregate.Table)
+	io.WriteString(h, c.Aggregate.Attr)
+	return h.Sum(nil)
+}
+
+// Sign appends party i's signature.
+func (c *Contract) Sign(i int, key ed25519.PrivateKey) {
+	for len(c.Signatures) <= i {
+		c.Signatures = append(c.Signatures, nil)
+	}
+	c.Signatures[i] = ed25519.Sign(key, c.SigningPayload())
+}
+
+// Verify checks that every data owner signed.
+func (c *Contract) Verify() error {
+	payload := c.SigningPayload()
+	for i, p := range c.Parties {
+		if p.Role != RoleProvider {
+			continue
+		}
+		if i >= len(c.Signatures) || !ed25519.Verify(p.Identity, payload, c.Signatures[i]) {
+			return fmt.Errorf("service: contract %s not signed by %s", c.ID, p.Name)
+		}
+	}
+	return nil
+}
+
+// PartyIndex finds a named party.
+func (c *Contract) PartyIndex(name string) int {
+	for i, p := range c.Parties {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Wire messages (gob-encoded over the connection) ---
+
+// helloMsg opens a session.
+type helloMsg struct {
+	Party     string
+	Role      Role
+	Challenge []byte // attestation nonce
+}
+
+// serverAuthMsg carries the device attestation and the service's ephemeral
+// key-agreement public key, signed by the attested application layer so the
+// session binds to the attested code.
+type serverAuthMsg struct {
+	AttChainGob []byte // gob-encoded secop.Attestation
+	ECDHPub     []byte
+	Sig         []byte // app-layer signature over Challenge || ECDHPub
+}
+
+// clientKeyMsg completes key agreement and authenticates the client.
+type clientKeyMsg struct {
+	ECDHPub []byte
+	Sig     []byte // identity signature over serverECDHPub || clientECDHPub
+}
+
+// schemaWire transports a schema as its attribute list.
+type schemaWire struct {
+	Attrs []relation.Attr
+}
+
+func toWire(s *relation.Schema) schemaWire {
+	attrs := make([]relation.Attr, s.NumAttrs())
+	for i := range attrs {
+		attrs[i] = s.Attr(i)
+	}
+	return schemaWire{Attrs: attrs}
+}
+
+func (w schemaWire) schema() (*relation.Schema, error) {
+	return relation.NewSchema(w.Attrs...)
+}
+
+// dataMsg is a provider's relation upload: each row sealed under the
+// session key, prepended with the contract ID inside the plaintext ("Each
+// party prepends its relation with the contract ID and encrypts the two
+// together as one message", §3.3.3 — here per row, binding every ciphertext
+// to the contract).
+type dataMsg struct {
+	ContractID string
+	Schema     schemaWire
+	Rows       [][]byte
+}
+
+// resultMsg delivers the join result to the recipient: rows sealed under
+// the recipient's session key (decoys already removed by T for the exact
+// algorithms; flagged oTuples for the Chapter 4 algorithms). For aggregate
+// contracts, Agg carries the single sealed statistic instead of rows.
+type resultMsg struct {
+	ContractID string
+	Schema     schemaWire
+	Rows       [][]byte
+	// Padded reports that rows are oTuples (flag byte + payload) rather
+	// than bare encodings.
+	Padded bool
+	// Agg is the sealed aggregate payload (count:8 | value:8 | valid:1)
+	// when the contract computes a statistic.
+	Agg []byte
+	Err string
+}
+
+// session wraps a connection with gob codecs and the directional session
+// sealers (sealer encrypts outgoing payloads, opener decrypts incoming).
+type session struct {
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	sealer *sessionSealer
+	opener *sessionSealer
+}
+
+func newSession(rw io.ReadWriter) *session {
+	return &session{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// sessionSealer is OCB under the derived session key with a counter nonce
+// per direction.
+type sessionSealer struct {
+	mode *ocb.Mode
+	dir  byte
+	ctr  uint64
+}
+
+func newSessionSealer(key []byte, dir byte) (*sessionSealer, error) {
+	m, err := ocb.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionSealer{mode: m, dir: dir}, nil
+}
+
+func (s *sessionSealer) seal(pt []byte) []byte {
+	s.ctr++
+	var nonce [ocb.NonceSize]byte
+	nonce[0] = s.dir
+	for i := 0; i < 8; i++ {
+		nonce[ocb.NonceSize-1-i] = byte(s.ctr >> (8 * i))
+	}
+	out := make([]byte, ocb.NonceSize, ocb.NonceSize+len(pt)+ocb.TagSize)
+	copy(out, nonce[:])
+	return s.mode.Seal(out, nonce, pt)
+}
+
+func (s *sessionSealer) open(ct []byte) ([]byte, error) {
+	if len(ct) < ocb.NonceSize+ocb.TagSize {
+		return nil, errors.New("service: short ciphertext")
+	}
+	var nonce [ocb.NonceSize]byte
+	copy(nonce[:], ct[:ocb.NonceSize])
+	return s.mode.Open(nil, nonce, ct[ocb.NonceSize:])
+}
+
+// deriveSessionKey hashes the ECDH shared secret with the transcript.
+func deriveSessionKey(shared, serverPub, clientPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("ppj-session-v1"))
+	h.Write(shared)
+	h.Write(serverPub)
+	h.Write(clientPub)
+	return h.Sum(nil)[:16]
+}
+
+// newECDHKey draws an ephemeral X25519 key.
+func newECDHKey() (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rand.Reader)
+}
+
+// encodeAggCell serialises an aggregate result as count:8 | value:8 |
+// valid:1.
+func encodeAggCell(res core.AggResult) []byte {
+	cell := make([]byte, 17)
+	binary.BigEndian.PutUint64(cell[0:], uint64(res.Count))
+	binary.BigEndian.PutUint64(cell[8:], math.Float64bits(res.Value))
+	if res.Valid {
+		cell[16] = 1
+	}
+	return cell
+}
+
+// decodeAggCell parses an aggregate cell.
+func decodeAggCell(cell []byte) (AggOutcome, error) {
+	if len(cell) != 17 {
+		return AggOutcome{}, fmt.Errorf("service: aggregate cell is %d bytes, want 17", len(cell))
+	}
+	return AggOutcome{
+		Count: int64(binary.BigEndian.Uint64(cell[0:])),
+		Value: math.Float64frombits(binary.BigEndian.Uint64(cell[8:])),
+		Valid: cell[16] == 1,
+	}, nil
+}

@@ -1,0 +1,504 @@
+package service
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"ppj/internal/core"
+	"ppj/internal/relation"
+	"ppj/internal/secop"
+	"ppj/internal/sim"
+)
+
+// Images returns the code images of the service's boot hierarchy. Clients
+// pin their digests (the "known, trusted version" of §3.3.3).
+func Images() []secop.CodeImage {
+	return []secop.CodeImage{
+		{Layer: secop.Miniboot, Name: "ppj-miniboot-1.0", Code: []byte("ppj miniboot")},
+		{Layer: secop.OS, Name: "ppj-cpq-1.0", Code: []byte("ppj embedded os")},
+		{Layer: secop.App, Name: "ppj-join-1.0", Code: []byte("ppj join application")},
+	}
+}
+
+// ExpectedStack returns the measurements clients should pin.
+func ExpectedStack() secop.ExpectedStack {
+	exp := secop.ExpectedStack{}
+	for _, img := range Images() {
+		exp[img.Layer] = img.Digest()
+	}
+	return exp
+}
+
+// Service is the service provider: device, host, coprocessor, and the
+// contract it arbitrates.
+type Service struct {
+	Device   *secop.Device
+	Contract *Contract
+	Memory   int
+	Seed     uint64
+
+	mu      sync.Mutex
+	uploads map[string]*upload
+}
+
+type upload struct {
+	party  string
+	schema *relation.Schema
+	rel    *relation.Relation
+}
+
+// NewService manufactures and boots a device and binds it to a verified
+// contract.
+func NewService(contract *Contract, memory int, seed uint64) (*Service, error) {
+	if err := contract.Verify(); err != nil {
+		return nil, err
+	}
+	dev, err := secop.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	for _, img := range Images() {
+		if err := dev.Load(img); err != nil {
+			return nil, err
+		}
+	}
+	return &Service{
+		Device:   dev,
+		Contract: contract,
+		Memory:   memory,
+		Seed:     seed,
+		uploads:  make(map[string]*upload),
+	}, nil
+}
+
+// Execute serves one connection per contract party (in any order),
+// completes every handshake and upload, runs the contracted join, and
+// delivers the result to each recipient. It returns after all sessions
+// finish.
+func (s *Service) Execute(conns map[string]io.ReadWriter) error {
+	providers, recipients := 0, 0
+	for _, p := range s.Contract.Parties {
+		switch p.Role {
+		case RoleProvider:
+			providers++
+		case RoleRecipient:
+			recipients++
+		}
+	}
+	if providers < 2 {
+		return fmt.Errorf("service: contract %s has %d providers, need >= 2", s.Contract.ID, providers)
+	}
+	if recipients < 1 {
+		return fmt.Errorf("service: contract %s names no recipient", s.Contract.ID)
+	}
+
+	type recipientSession struct {
+		name string
+		sess *session
+	}
+	var (
+		wg      sync.WaitGroup
+		errs    = make(chan error, len(conns))
+		recvs   = make(chan recipientSession, recipients)
+		uploads = make(chan struct{}, providers)
+	)
+	for name, conn := range conns {
+		wg.Add(1)
+		go func(name string, conn io.ReadWriter) {
+			defer wg.Done()
+			sess, party, err := s.handshake(conn)
+			if err != nil {
+				errs <- fmt.Errorf("service: session with %s: %w", name, err)
+				return
+			}
+			// The authenticated party identity (not the connection label)
+			// decides where the data belongs.
+			switch party.Role {
+			case RoleProvider:
+				if err := s.receiveUpload(party.Name, sess); err != nil {
+					errs <- fmt.Errorf("service: upload from %s: %w", party.Name, err)
+					return
+				}
+				uploads <- struct{}{}
+			case RoleRecipient:
+				recvs <- recipientSession{name: party.Name, sess: sess}
+			}
+		}(name, conn)
+	}
+
+	// Wait for every provider's data.
+	for i := 0; i < providers; i++ {
+		select {
+		case <-uploads:
+		case err := <-errs:
+			return err
+		}
+	}
+	var (
+		rows    [][]byte
+		schema  *relation.Schema
+		padded  bool
+		aggCell []byte
+		joinErr error
+	)
+	if s.Contract.Algorithm == "aggregate" {
+		aggCell, joinErr = s.runAggregate()
+	} else {
+		rows, schema, padded, joinErr = s.runJoin()
+	}
+
+	// Deliver to recipients (or report the failure).
+	for i := 0; i < recipients; i++ {
+		var rs recipientSession
+		select {
+		case rs = <-recvs:
+		case err := <-errs:
+			return err
+		}
+		msg := resultMsg{ContractID: s.Contract.ID, Padded: padded}
+		switch {
+		case joinErr != nil:
+			msg.Err = joinErr.Error()
+		case aggCell != nil:
+			msg.Agg = rs.sess.sealer.seal(aggCell)
+		default:
+			msg.Schema = toWire(schema)
+			sealed := make([][]byte, len(rows))
+			for j, r := range rows {
+				sealed[j] = rs.sess.sealer.seal(r)
+			}
+			msg.Rows = sealed
+		}
+		if err := rs.sess.enc.Encode(msg); err != nil {
+			return fmt.Errorf("service: delivering to %s: %w", rs.name, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return joinErr
+}
+
+// handshake authenticates the device to the client and the client to the
+// contract, deriving the session sealer. It returns the authenticated
+// contract party.
+func (s *Service) handshake(conn io.ReadWriter) (*session, Party, error) {
+	sess := newSession(conn)
+	var hello helloMsg
+	if err := sess.dec.Decode(&hello); err != nil {
+		return nil, Party{}, fmt.Errorf("reading hello: %w", err)
+	}
+	idx := s.Contract.PartyIndex(hello.Party)
+	if idx < 0 {
+		return nil, Party{}, fmt.Errorf("party %q not in contract %s", hello.Party, s.Contract.ID)
+	}
+	party := s.Contract.Parties[idx]
+	if party.Role != hello.Role {
+		return nil, Party{}, fmt.Errorf("party %q claims role %s, contract says %s", hello.Party, hello.Role, party.Role)
+	}
+
+	att, err := s.Device.Attest(hello.Challenge)
+	if err != nil {
+		return nil, Party{}, err
+	}
+	var attBuf bytes.Buffer
+	if err := gob.NewEncoder(&attBuf).Encode(att); err != nil {
+		return nil, Party{}, err
+	}
+	eph, err := newECDHKey()
+	if err != nil {
+		return nil, Party{}, err
+	}
+	sig, err := s.Device.AppSign(append(append([]byte(nil), hello.Challenge...), eph.PublicKey().Bytes()...))
+	if err != nil {
+		return nil, Party{}, err
+	}
+	if err := sess.enc.Encode(serverAuthMsg{
+		AttChainGob: attBuf.Bytes(),
+		ECDHPub:     eph.PublicKey().Bytes(),
+		Sig:         sig,
+	}); err != nil {
+		return nil, Party{}, err
+	}
+
+	var ck clientKeyMsg
+	if err := sess.dec.Decode(&ck); err != nil {
+		return nil, Party{}, fmt.Errorf("reading client key: %w", err)
+	}
+	transcript := append(append([]byte(nil), eph.PublicKey().Bytes()...), ck.ECDHPub...)
+	if !ed25519.Verify(party.Identity, transcript, ck.Sig) {
+		return nil, Party{}, fmt.Errorf("party %q failed identity authentication", hello.Party)
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(ck.ECDHPub)
+	if err != nil {
+		return nil, Party{}, err
+	}
+	shared, err := eph.ECDH(clientPub)
+	if err != nil {
+		return nil, Party{}, err
+	}
+	key := deriveSessionKey(shared, eph.PublicKey().Bytes(), ck.ECDHPub)
+	// Directions: client seals with 'c', server with 's'.
+	open, err := newSessionSealer(key, 'c')
+	if err != nil {
+		return nil, Party{}, err
+	}
+	sealDir, err := newSessionSealer(key, 's')
+	if err != nil {
+		return nil, Party{}, err
+	}
+	sess.sealer = sealDir
+	sess.opener = open
+	return sess, party, nil
+}
+
+// receiveUpload ingests a provider's relation: every row is opened with the
+// session key inside T, checked for the contract binding, and retained for
+// the join.
+func (s *Service) receiveUpload(party string, sess *session) error {
+	var msg dataMsg
+	if err := sess.dec.Decode(&msg); err != nil {
+		return err
+	}
+	if msg.ContractID != s.Contract.ID {
+		return fmt.Errorf("upload for foreign contract %q", msg.ContractID)
+	}
+	schema, err := msg.Schema.schema()
+	if err != nil {
+		return err
+	}
+	rel := relation.NewRelation(schema)
+	prefix := []byte(s.Contract.ID)
+	for i, ct := range msg.Rows {
+		pt, err := sess.opener.open(ct)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if len(pt) < len(prefix) || !bytes.Equal(pt[:len(prefix)], prefix) {
+			return fmt.Errorf("row %d not bound to contract", i)
+		}
+		row, err := schema.Decode(pt[len(prefix):])
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if err := rel.Append(row); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.uploads[party]; dup {
+		return fmt.Errorf("party %q uploaded twice", party)
+	}
+	s.uploads[party] = &upload{party: party, schema: schema, rel: rel}
+	return nil
+}
+
+// runJoin executes the contracted algorithm over the uploaded relations,
+// returning oTuple cells (flag byte + payload).
+func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, err error) {
+	s.mu.Lock()
+	var rels []*relation.Relation
+	var names []string
+	for _, p := range s.Contract.Parties {
+		if p.Role != RoleProvider {
+			continue
+		}
+		up, ok := s.uploads[p.Name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, nil, false, fmt.Errorf("service: provider %s never uploaded", p.Name)
+		}
+		rels = append(rels, up.rel)
+		names = append(names, p.Name)
+	}
+	s.mu.Unlock()
+
+	host := sim.NewHost(0)
+	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: s.Seed})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	tabs := make([]sim.Table, len(rels))
+	for i, rel := range rels {
+		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+
+	var res core.Result
+	switch s.Contract.Algorithm {
+	case "alg1", "alg2", "alg3":
+		if len(rels) != 2 {
+			return nil, nil, false, fmt.Errorf("service: %s requires exactly 2 providers", s.Contract.Algorithm)
+		}
+		pred, err := s.Contract.Predicate.Build(rels[0].Schema, rels[1].Schema)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		n := int64(relation.MaxMatches(rels[0], rels[1], pred))
+		if n == 0 {
+			n = 1
+		}
+		switch s.Contract.Algorithm {
+		case "alg1":
+			res, err = core.Join1(cop, tabs[0], tabs[1], pred, n)
+		case "alg2":
+			res, err = core.Join2(cop, tabs[0], tabs[1], pred, n, 0)
+		case "alg3":
+			eq, ok := pred.(*relation.Equi)
+			if !ok {
+				return nil, nil, false, errors.New("service: alg3 requires an equi predicate")
+			}
+			res, err = core.Join3(cop, tabs[0], tabs[1], eq, n, false)
+		}
+		if err != nil {
+			return nil, nil, false, err
+		}
+		padded = true
+	case "alg4", "alg5", "alg6":
+		pred, err := s.multiPredicate(rels)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		switch s.Contract.Algorithm {
+		case "alg4":
+			res, err = core.Join4(cop, tabs, pred)
+		case "alg5":
+			res, err = core.Join5(cop, tabs, pred)
+		case "alg6":
+			var rep core.Join6Report
+			rep, err = core.Join6(cop, tabs, pred, s.Contract.Epsilon)
+			res = rep.Result
+		}
+		if err != nil {
+			return nil, nil, false, err
+		}
+		padded = false
+	default:
+		return nil, nil, false, fmt.Errorf("service: unknown algorithm %q", s.Contract.Algorithm)
+	}
+
+	// Re-open the output cells inside T for recipient re-encryption.
+	out := make([][]byte, 0, res.OutputLen)
+	for i := int64(0); i < res.OutputLen; i++ {
+		ct := host.Inspect(res.Output.Region, i)
+		cell, err := cop.Sealer().Open(ct)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		out = append(out, cell)
+	}
+	return out, res.Output.Schema, padded, nil
+}
+
+// runAggregate executes an "aggregate" contract: the statistic is computed
+// in one pass inside T and only the 17-byte result cell leaves it.
+func (s *Service) runAggregate() ([]byte, error) {
+	s.mu.Lock()
+	var rels []*relation.Relation
+	var names []string
+	for _, p := range s.Contract.Parties {
+		if p.Role != RoleProvider {
+			continue
+		}
+		up, ok := s.uploads[p.Name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("service: provider %s never uploaded", p.Name)
+		}
+		rels = append(rels, up.rel)
+		names = append(names, p.Name)
+	}
+	s.mu.Unlock()
+
+	spec, err := s.aggSpec()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.multiPredicate(rels)
+	if err != nil {
+		return nil, err
+	}
+	host := sim.NewHost(0)
+	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: s.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tabs := make([]sim.Table, len(rels))
+	for i, rel := range rels {
+		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.Aggregate(cop, tabs, pred, spec)
+	if err != nil {
+		return nil, err
+	}
+	return encodeAggCell(res), nil
+}
+
+// aggSpec resolves the contract's aggregate description.
+func (s *Service) aggSpec() (core.AggSpec, error) {
+	var kind core.AggKind
+	switch s.Contract.Aggregate.Kind {
+	case "count":
+		kind = core.AggCount
+	case "sum":
+		kind = core.AggSum
+	case "min":
+		kind = core.AggMin
+	case "max":
+		kind = core.AggMax
+	case "avg":
+		kind = core.AggAvg
+	default:
+		return core.AggSpec{}, fmt.Errorf("service: unknown aggregate kind %q", s.Contract.Aggregate.Kind)
+	}
+	return core.AggSpec{Kind: kind, Table: s.Contract.Aggregate.Table, Attr: s.Contract.Aggregate.Attr}, nil
+}
+
+// multiPredicate lifts the contract predicate to J tables: pairwise for two
+// providers; for more, an all-equal equijoin on AttrA across every table.
+func (s *Service) multiPredicate(rels []*relation.Relation) (relation.MultiPredicate, error) {
+	if len(rels) == 2 {
+		pred, err := s.Contract.Predicate.Build(rels[0].Schema, rels[1].Schema)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Pairwise(pred), nil
+	}
+	if s.Contract.Predicate.Kind != "equi" {
+		return nil, fmt.Errorf("service: %d-way joins support only equi predicates", len(rels))
+	}
+	idx := make([]int, len(rels))
+	for i, rel := range rels {
+		idx[i] = rel.Schema.Index(s.Contract.Predicate.AttrA)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("service: relation %d lacks attribute %q", i, s.Contract.Predicate.AttrA)
+		}
+	}
+	return relation.MultiPredicateFunc{
+		Fn: func(ts []relation.Tuple) bool {
+			for i := 1; i < len(ts); i++ {
+				if ts[i][idx[i]].I != ts[0][idx[0]].I {
+					return false
+				}
+			}
+			return true
+		},
+		Desc: fmt.Sprintf("all %s equal", s.Contract.Predicate.AttrA),
+	}, nil
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegionID identifies a named array of ciphertext cells in H's memory.
+type RegionID int32
+
+// Host is the untrusted server. It stores only ciphertext, relays every
+// coprocessor access into the trace, and — in the malicious-adversary tests —
+// lets an attacker tamper with cells (which T must detect via authenticated
+// encryption, §3.3.1).
+type Host struct {
+	mu      sync.Mutex
+	regions []*region
+	byName  map[string]RegionID
+	trace   *Trace
+	// diskWrites counts cells H persisted at T's request.
+	diskWrites uint64
+}
+
+type region struct {
+	name  string
+	cells [][]byte
+}
+
+// NewHost creates a host whose trace records up to recordLimit raw events.
+func NewHost(recordLimit int) *Host {
+	return &Host{byName: make(map[string]RegionID), trace: NewTrace(recordLimit)}
+}
+
+// Trace exposes the access sequence observed so far.
+func (h *Host) Trace() *Trace { return h.trace }
+
+// CreateRegion allocates a named region of n (initially nil) cells and
+// returns its id. Regions grow automatically when written past the end.
+func (h *Host) CreateRegion(name string, n int) (RegionID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.byName[name]; dup {
+		return 0, fmt.Errorf("sim: region %q already exists", name)
+	}
+	id := RegionID(len(h.regions))
+	h.regions = append(h.regions, &region{name: name, cells: make([][]byte, n)})
+	h.byName[name] = id
+	return id, nil
+}
+
+// MustCreateRegion is CreateRegion that panics on error.
+func (h *Host) MustCreateRegion(name string, n int) RegionID {
+	id, err := h.CreateRegion(name, n)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// RegionLen returns the current number of cells in a region.
+func (h *Host) RegionLen(id RegionID) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.regions[id].cells)
+}
+
+// RegionName returns the region's name.
+func (h *Host) RegionName(id RegionID) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.regions[id].name
+}
+
+// Store writes ciphertext into a cell without tracing. It models data
+// arriving from outside T's access pattern: providers uploading their
+// encrypted relations before the join starts.
+func (h *Host) Store(id RegionID, index int64, ciphertext []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.grow(id, index)
+	h.regions[id].cells[index] = ciphertext
+}
+
+// Inspect returns the raw ciphertext of a cell without tracing: the
+// honest-but-curious adversary reading H's memory (§3.3.2). It returns nil
+// for never-written cells.
+func (h *Host) Inspect(id RegionID, index int64) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.regions[id]
+	if index < 0 || index >= int64(len(r.cells)) {
+		return nil
+	}
+	return r.cells[index]
+}
+
+// Tamper lets a malicious adversary overwrite a cell's ciphertext without
+// tracing. T's next authenticated read of the cell must fail (§3.3.1).
+func (h *Host) Tamper(id RegionID, index int64, ciphertext []byte) {
+	h.Store(id, index, ciphertext)
+}
+
+// DiskWrites reports how many cells H has persisted at T's request.
+func (h *Host) DiskWrites() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.diskWrites
+}
+
+// read serves a traced coprocessor get.
+func (h *Host) read(id RegionID, index int64) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.regions[id]
+	if index < 0 || index >= int64(len(r.cells)) {
+		return nil, fmt.Errorf("sim: get %s[%d] out of range (len %d)", r.name, index, len(r.cells))
+	}
+	h.trace.Append(Event{Op: OpGet, Region: id, Index: index})
+	c := r.cells[index]
+	if c == nil {
+		return nil, fmt.Errorf("sim: get %s[%d] of unwritten cell", r.name, index)
+	}
+	return c, nil
+}
+
+// write serves a traced coprocessor put.
+func (h *Host) write(id RegionID, index int64, ciphertext []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if index < 0 {
+		return fmt.Errorf("sim: put %s[%d] negative index", h.regions[id].name, index)
+	}
+	h.grow(id, index)
+	h.trace.Append(Event{Op: OpPut, Region: id, Index: index})
+	h.regions[id].cells[index] = ciphertext
+	return nil
+}
+
+// diskWrite serves a traced request to persist a cell.
+func (h *Host) diskWrite(id RegionID, index int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.regions[id]
+	if index < 0 || index >= int64(len(r.cells)) {
+		return fmt.Errorf("sim: disk write %s[%d] out of range", r.name, index)
+	}
+	h.trace.Append(Event{Op: OpDisk, Region: id, Index: index})
+	h.diskWrites++
+	return nil
+}
+
+func (h *Host) grow(id RegionID, index int64) {
+	r := h.regions[id]
+	for int64(len(r.cells)) <= index {
+		r.cells = append(r.cells, nil)
+	}
+}
+
+// FreshRegion creates a region with a unique name derived from prefix, for
+// algorithms that allocate scratch space without coordinating names.
+func (h *Host) FreshRegion(prefix string, n int) RegionID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	name := prefix
+	for i := 2; ; i++ {
+		if _, dup := h.byName[name]; !dup {
+			break
+		}
+		name = fmt.Sprintf("%s#%d", prefix, i)
+	}
+	id := RegionID(len(h.regions))
+	h.regions = append(h.regions, &region{name: name, cells: make([][]byte, n)})
+	h.byName[name] = id
+	return id
+}
+
+// copyOut serves T's request that H copy ciphertext cells from one region to
+// another (e.g. persisting the first N scratch cells as output). The copy is
+// host-local — the cells never transit T — but it is part of the observable
+// pattern and is traced as disk writes of the destination cells.
+func (h *Host) copyOut(dst RegionID, dstFrom int64, src RegionID, srcFrom, n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.regions[src]
+	if srcFrom < 0 || srcFrom+n > int64(len(s.cells)) {
+		return fmt.Errorf("sim: copy out of %s[%d..%d) out of range", s.name, srcFrom, srcFrom+n)
+	}
+	for i := int64(0); i < n; i++ {
+		h.grow(dst, dstFrom+i)
+		h.regions[dst].cells[dstFrom+i] = s.cells[srcFrom+i]
+		h.trace.Append(Event{Op: OpDisk, Region: dst, Index: dstFrom + i})
+		h.diskWrites++
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package smc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file extends the circuit library with ripple-carry arithmetic so the
+// SMC baseline covers the paper's non-equality predicates too — the thesis
+// stresses that "joins involving arbitrary predicates, e.g. <, are
+// important as well as fairly common" (§1.1), and §4.6.5's gate-count
+// argument uses an L1-norm threshold circuit. BandCircuit realises
+// |a − b| ≤ w as (a < b+w+1) ∧ (b < a+w+1) over widened adders.
+
+// builder accumulates gates with automatic wire numbering.
+type builder struct {
+	c    *Circuit
+	next int
+}
+
+func newBuilder(garblerBits, evaluatorBits int) *builder {
+	c := &Circuit{GarblerBits: garblerBits, EvaluatorBits: evaluatorBits}
+	return &builder{c: c, next: garblerBits + evaluatorBits}
+}
+
+func (b *builder) gate(op GateOp, in0, in1 int) int {
+	b.c.Gates = append(b.c.Gates, Gate{Op: op, In0: in0, In1: in1, Out: b.next})
+	b.next++
+	return b.next - 1
+}
+
+// constFalse materialises a 0 wire as x XOR x.
+func (b *builder) constFalse(anyWire int) int {
+	return b.gate(XOR, anyWire, anyWire)
+}
+
+// constTrue materialises a 1 wire as x XNOR x.
+func (b *builder) constTrue(anyWire int) int {
+	return b.gate(XNOR, anyWire, anyWire)
+}
+
+// fullAdder returns (sum, carryOut) for bits x, y and carry c:
+// sum = x ⊕ y ⊕ c; carry = (x ∧ y) ∨ (c ∧ (x ⊕ y)).
+func (b *builder) fullAdder(x, y, c int) (sum, carry int) {
+	xy := b.gate(XOR, x, y)
+	sum = b.gate(XOR, xy, c)
+	and1 := b.gate(AND, x, y)
+	and2 := b.gate(AND, c, xy)
+	carry = b.gate(OR, and1, and2)
+	return sum, carry
+}
+
+// addConst adds a constant to a little-endian wire vector, widening by one
+// carry bit.
+func (b *builder) addConst(xs []int, k uint64) []int {
+	zero := b.constFalse(xs[0])
+	one := b.constTrue(xs[0])
+	carry := zero
+	out := make([]int, 0, len(xs)+1)
+	for i, x := range xs {
+		kb := zero
+		if k>>uint(i)&1 == 1 {
+			kb = one
+		}
+		var s int
+		s, carry = b.fullAdder(x, kb, carry)
+		out = append(out, s)
+	}
+	return append(out, carry)
+}
+
+// lessThan returns the wire a < b over two equal-width little-endian
+// vectors, scanning from the most significant bit.
+func (b *builder) lessThan(as, bs []int) int {
+	lt, eq := -1, -1
+	for i := len(as) - 1; i >= 0; i-- {
+		xnor := b.gate(XNOR, as[i], bs[i])
+		axb := b.gate(XOR, as[i], bs[i])
+		nab := b.gate(AND, axb, bs[i]) // ¬a ∧ b
+		if lt < 0 {
+			lt, eq = nab, xnor
+			continue
+		}
+		step := b.gate(AND, eq, nab)
+		lt = b.gate(OR, lt, step)
+		eq = b.gate(AND, eq, xnor)
+	}
+	return lt
+}
+
+// BandCircuit builds the w-bit band-join comparator |a − b| ≤ band: the
+// garbler holds a, the evaluator b, and the single output bit says whether
+// they join under the paper's band predicate.
+func BandCircuit(w int, band uint64) (*Circuit, error) {
+	if w <= 0 || w > 62 {
+		return nil, errors.New("smc: width out of range")
+	}
+	if band >= 1<<uint(w) {
+		return nil, fmt.Errorf("smc: band %d exceeds %d-bit range", band, w)
+	}
+	b := newBuilder(w, w)
+	as := make([]int, w)
+	bs := make([]int, w)
+	for i := 0; i < w; i++ {
+		as[i], bs[i] = i, w+i
+	}
+	// |a−b| <= band  <=>  a <= b+band ∧ b <= a+band
+	//                <=>  a < b+band+1 ∧ b < a+band+1  (no overflow: widened)
+	zero := b.constFalse(0)
+	aw := append(append([]int{}, as...), zero) // widen a and b to w+1 bits
+	bw := append(append([]int{}, bs...), zero)
+	bPlus := b.addConst(bs, band+1) // w+1 bits (carry kept)
+	aPlus := b.addConst(as, band+1)
+	// Align widths: addConst returns w+1 bits; aw/bw are w+1 bits.
+	lt1 := b.lessThan(aw, bPlus[:len(aw)])
+	lt2 := b.lessThan(bw, aPlus[:len(bw)])
+	out := b.gate(AND, lt1, lt2)
+	b.c.Outputs = []int{out}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// GreaterEqualCircuit builds a ≥ b as ¬(a < b).
+func GreaterEqualCircuit(w int) (*Circuit, error) {
+	if w <= 0 || w > 64 {
+		return nil, errors.New("smc: width out of range")
+	}
+	b := newBuilder(w, w)
+	as := make([]int, w)
+	bs := make([]int, w)
+	for i := 0; i < w; i++ {
+		as[i], bs[i] = i, w+i
+	}
+	lt := b.lessThan(as, bs)
+	one := b.constTrue(0)
+	out := b.gate(XOR, lt, one) // ¬lt
+	b.c.Outputs = []int{out}
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}

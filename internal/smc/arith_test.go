@@ -1,0 +1,128 @@
+package smc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandCircuitEval(t *testing.T) {
+	for _, band := range []uint64{0, 1, 3, 7} {
+		c, err := BandCircuit(8, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(a, b uint8) bool {
+			out, err := c.Eval(bits(uint64(a), 8), bits(uint64(b), 8))
+			if err != nil {
+				return false
+			}
+			var diff uint64
+			if a > b {
+				diff = uint64(a - b)
+			} else {
+				diff = uint64(b - a)
+			}
+			return out[0] == (diff <= band)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("band=%d: %v", band, err)
+		}
+	}
+}
+
+func TestGreaterEqualCircuitEval(t *testing.T) {
+	c, err := GreaterEqualCircuit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		out, err := c.Eval(bits(uint64(a), 8), bits(uint64(b), 8))
+		if err != nil {
+			return false
+		}
+		return out[0] == (a >= b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandCircuitGarbled(t *testing.T) {
+	// The band comparator must also evaluate correctly under garbling — the
+	// full SMC path for the paper's non-equality predicate.
+	c, err := BandCircuit(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b uint64
+		want bool
+	}{
+		{10, 12, true}, {10, 13, false}, {12, 10, true}, {13, 10, false},
+		{0, 0, true}, {63, 61, true}, {63, 60, false},
+	} {
+		g, err := Garble(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]Label, c.NumInputs())
+		for i := 0; i < 6; i++ {
+			inputs[i], _ = g.InputLabel(i, tc.a>>i&1 == 1)
+			inputs[6+i], _ = g.InputLabel(6+i, tc.b>>i&1 == 1)
+		}
+		out, err := Evaluate(g.GC, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Fatalf("|%d-%d|<=2 garbled = %v, want %v", tc.a, tc.b, out[0], tc.want)
+		}
+	}
+}
+
+func TestBandCircuitValidation(t *testing.T) {
+	if _, err := BandCircuit(0, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := BandCircuit(63, 1); err == nil {
+		t.Error("width 63 accepted")
+	}
+	if _, err := BandCircuit(4, 16); err == nil {
+		t.Error("band exceeding range accepted")
+	}
+	if _, err := GreaterEqualCircuit(0); err == nil {
+		t.Error("zero width accepted by GreaterEqualCircuit")
+	}
+}
+
+func TestBandCircuitGateCountLinear(t *testing.T) {
+	// §4.6.5 assumes Ge(w) = Θ(w) for threshold matching; the ripple-carry
+	// construction is linear in w.
+	c8, _ := BandCircuit(8, 3)
+	c16, _ := BandCircuit(16, 3)
+	if len(c16.Gates) > 3*len(c8.Gates) {
+		t.Fatalf("gate growth not ~linear: %d -> %d", len(c8.Gates), len(c16.Gates))
+	}
+}
+
+func TestPrivateBandJoin(t *testing.T) {
+	alice := []uint64{10, 20, 30}
+	bob := []uint64{12, 27, 100}
+	pairs, stats, err := PrivateBandJoin(8, 3, alice, bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |10-12|=2<=3 and |30-27|=3<=3 join; nothing else does.
+	want := map[[2]int]bool{{0, 0}: true, {2, 1}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+	if stats.Pairs != 9 || stats.OTs != 9*8 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

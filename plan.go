@@ -1,0 +1,49 @@
+package ppj
+
+import (
+	"ppj/internal/core"
+	"ppj/internal/query"
+	"ppj/internal/relation"
+)
+
+// This file re-exports the query planner, which turns the paper's §4.6 and
+// §5.3.4 performance analysis into an automatic algorithm choice.
+
+// Query describes a declarative privacy preserving join request.
+type Query = query.Query
+
+// QueryPlan is the planner's decision.
+type QueryPlan = query.Plan
+
+// Planner picks and runs the cheapest admissible algorithm.
+type Planner = query.Planner
+
+// Output modes.
+const (
+	// OutputPaddedN allows Chapter 4's N·|A| padded output.
+	OutputPaddedN = query.PaddedN
+	// OutputExact requires Chapter 5's exact-S output.
+	OutputExact = query.Exact
+)
+
+// PlanQuery picks the cheapest algorithm for the query on a device with
+// memory M, without running it.
+func PlanQuery(q Query, rels []*Relation, memory int64) (QueryPlan, error) {
+	return query.Planner{Memory: memory}.Plan(q, rels)
+}
+
+// RunQuery plans and executes a row-producing query on a fresh engine.
+func RunQuery(q Query, rels []*Relation, memory int64, seed uint64) (*Relation, QueryPlan, error) {
+	return query.Planner{Memory: memory}.Execute(q, rels, seed)
+}
+
+// RunAggregateQuery plans and executes an aggregate query.
+func RunAggregateQuery(q Query, rels []*Relation, memory int64, seed uint64) (core.AggResult, QueryPlan, error) {
+	return query.Planner{Memory: memory}.ExecuteAggregate(q, rels, seed)
+}
+
+// CountMultiMatches computes the exact join size S over the cartesian
+// product (the screening statistic of Algorithm 6).
+func CountMultiMatches(rels []*Relation, pred MultiPredicate) int64 {
+	return relation.CountMultiMatches(rels, pred)
+}
