@@ -1,153 +1,203 @@
-// Command ppjservice demonstrates the paper's secure network service over
-// real TCP connections on localhost: a service provider (host + attested
-// coprocessor), two data owners, and a result recipient, all bound by a
-// co-signed digital contract (§3.2, §3.3.3).
+// Command ppjservice demonstrates the serving layer over real TCP
+// connections on localhost: one multi-tenant join server (a single attested
+// device arbitrating several co-signed contracts), a bounded worker pool of
+// simulated coprocessors, and N concurrent client groups — each a pair of
+// data owners plus a result recipient — all driving one listener. Sessions
+// are routed to their contract by the hello's contract ID; the server's
+// job scheduler runs the contracts over the pool and the admin metrics
+// snapshot is printed at the end.
 //
 // Usage:
 //
-//	ppjservice [-alg alg5] [-addr 127.0.0.1:0] [-rows 20]
+//	ppjservice [-addr 127.0.0.1:0] [-rows 20] [-workers 2] [-queue 8] [-timeout 30s]
 //
-// The process plays all four parties (each over its own TCP connection) so
-// the demo is self-contained; the client and service code paths are exactly
-// the library's, and would run unchanged across machines.
+// The process plays every party (each over its own TCP connection) so the
+// demo is self-contained; the client and server code paths are exactly the
+// library's, and would run unchanged across machines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"ppj/internal/relation"
+	"ppj/internal/server"
 	"ppj/internal/service"
 )
 
+// contractSpec describes one tenant of the demo server.
+type contractSpec struct {
+	id        string
+	algorithm string
+	parties   [3]string // two providers, one recipient
+	aggregate service.AggregateSpec
+}
+
 func main() {
 	var (
-		alg  = flag.String("alg", "alg5", "contracted algorithm: alg1..alg6")
-		addr = flag.String("addr", "127.0.0.1:0", "listen address")
-		rows = flag.Int("rows", 20, "rows per provider")
+		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
+		rows    = flag.Int("rows", 20, "rows per provider")
+		workers = flag.Int("workers", 2, "coprocessor worker pool size P")
+		queue   = flag.Int("queue", 8, "ready-job queue depth")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-job deadline")
 	)
 	flag.Parse()
 
-	// Identities.
-	pubA, privA, err := service.NewIdentity()
-	check(err)
-	pubB, privB, err := service.NewIdentity()
-	check(err)
-	pubC, privC, err := service.NewIdentity()
-	check(err)
-
-	// The digital contract, co-signed by the data owners.
-	contract := &service.Contract{
-		ID: "demo-contract-42",
-		Parties: []service.Party{
-			{Name: "airline", Identity: pubA, Role: service.RoleProvider},
-			{Name: "agency", Identity: pubB, Role: service.RoleProvider},
-			{Name: "analyst", Identity: pubC, Role: service.RoleRecipient},
-		},
-		Predicate: service.PredicateSpec{Kind: "equi", AttrA: "key", AttrB: "key"},
-		Algorithm: *alg,
-		Epsilon:   1e-10,
+	specs := []contractSpec{
+		{id: "watchlist-equijoin", algorithm: "alg3", parties: [3]string{"airline", "agency", "analyst"}},
+		{id: "epidemiology-exact", algorithm: "alg5", parties: [3]string{"hospital-a", "hospital-b", "registry"}},
+		{id: "genomics-auto", algorithm: "auto", parties: [3]string{"genebank", "lab", "study"}},
+		{id: "census-count", algorithm: "aggregate", parties: [3]string{"bureau", "irs", "economist"},
+			aggregate: service.AggregateSpec{Kind: "count"}},
 	}
-	contract.Sign(0, privA)
-	contract.Sign(1, privB)
 
-	svc, err := service.NewService(contract, 64, 0)
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Memory:     64,
+		JobTimeout: *timeout,
+		Logf:       log.Printf,
+	})
 	check(err)
-	fmt.Printf("service provider up: device key %x..., software stack attested as:\n",
-		svc.Device.DeviceKey()[:8])
+	fmt.Printf("join server up: worker pool P=%d, queue depth %d, device key %x...\n",
+		*workers, *queue, srv.Device().DeviceKey()[:8])
+	fmt.Println("software stack attested as:")
 	for _, img := range service.Images() {
 		d := img.Digest()
 		fmt.Printf("  %-9s %-16s %x...\n", img.Layer, img.Name, d[:8])
 	}
 
+	// Each tenant group: identities, a co-signed contract, input relations.
+	type tenant struct {
+		spec       contractSpec
+		contract   *service.Contract
+		keys       [3]keypair
+		relA, relB *relation.Relation
+		job        *server.Job
+	}
+	tenants := make([]*tenant, len(specs))
+	for i, spec := range specs {
+		tn := &tenant{spec: spec}
+		for k := range tn.keys {
+			pub, priv, err := service.NewIdentity()
+			check(err)
+			tn.keys[k] = keypair{pub: pub, priv: priv}
+		}
+		tn.contract = &service.Contract{
+			ID: spec.id,
+			Parties: []service.Party{
+				{Name: spec.parties[0], Identity: tn.keys[0].pub, Role: service.RoleProvider},
+				{Name: spec.parties[1], Identity: tn.keys[1].pub, Role: service.RoleProvider},
+				{Name: spec.parties[2], Identity: tn.keys[2].pub, Role: service.RoleRecipient},
+			},
+			Predicate: service.PredicateSpec{Kind: "equi", AttrA: "key", AttrB: "key"},
+			Algorithm: spec.algorithm,
+			Epsilon:   1e-10,
+			Aggregate: spec.aggregate,
+		}
+		tn.contract.Sign(0, tn.keys[0].priv)
+		tn.contract.Sign(1, tn.keys[1].priv)
+		tn.relA = relation.GenKeyed(relation.NewRand(uint64(2*i+1)), *rows, 10)
+		tn.relB = relation.GenKeyed(relation.NewRand(uint64(2*i+2)), *rows+5, 10)
+		tn.job, err = srv.Register(tn.contract)
+		check(err)
+		tenants[i] = tn
+	}
+	fmt.Printf("\nregistered %d contracts on one listener\n", len(tenants))
+
 	ln, err := net.Listen("tcp", *addr)
 	check(err)
-	defer ln.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
 	fmt.Printf("listening on %s\n\n", ln.Addr())
 
-	// Accept one connection per party; the hello message names the party.
-	conns := make(map[string]io.ReadWriter)
-	var mu sync.Mutex
-	accepted := make(chan struct{}, 3)
-	go func() {
-		for i := 0; i < 3; i++ {
-			c, err := ln.Accept()
-			check(err)
-			mu.Lock()
-			conns[fmt.Sprintf("conn%d", i)] = c
-			mu.Unlock()
-			accepted <- struct{}{}
-		}
-	}()
-
-	relA := relation.GenKeyed(relation.NewRand(1), *rows, 10)
-	relB := relation.GenKeyed(relation.NewRand(2), *rows+5, 10)
-
-	client := func(name string, priv []byte) *service.Client {
-		return &service.Client{
-			Name:      name,
-			Identity:  priv,
-			DeviceKey: svc.Device.DeviceKey(),
-			Expected:  service.ExpectedStack(),
-		}
-	}
-
+	// Drive every client group concurrently against the one listener.
 	var wg sync.WaitGroup
-	var result *relation.Relation
-	wg.Add(3)
-	dial := func() net.Conn {
-		c, err := net.Dial("tcp", ln.Addr().String())
-		check(err)
-		return c
-	}
-	go func() {
-		defer wg.Done()
-		cs, err := client("airline", privA).Connect(dial(), service.RoleProvider)
-		check(err)
-		check(cs.SubmitRelation(contract.ID, relA))
-		fmt.Println("airline: attested the device and uploaded its manifest (encrypted)")
-	}()
-	go func() {
-		defer wg.Done()
-		cs, err := client("agency", privB).Connect(dial(), service.RoleProvider)
-		check(err)
-		check(cs.SubmitRelation(contract.ID, relB))
-		fmt.Println("agency: attested the device and uploaded its watch list (encrypted)")
-	}()
-	go func() {
-		defer wg.Done()
-		cs, err := client("analyst", privC).Connect(dial(), service.RoleRecipient)
-		check(err)
-		result, err = cs.ReceiveResult()
-		check(err)
-	}()
+	var outMu sync.Mutex
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(tn *tenant) {
+			defer wg.Done()
+			client := func(k int, name string) *service.Client {
+				return &service.Client{
+					Name:      name,
+					Identity:  tn.keys[k].priv,
+					DeviceKey: srv.Device().DeviceKey(),
+					Expected:  service.ExpectedStack(),
+				}
+			}
+			dial := func() net.Conn {
+				c, err := net.Dial("tcp", ln.Addr().String())
+				check(err)
+				return c
+			}
+			var inner sync.WaitGroup
+			inner.Add(2)
+			for k, rel := range map[int]*relation.Relation{0: tn.relA, 1: tn.relB} {
+				go func(k int, rel *relation.Relation) {
+					defer inner.Done()
+					conn := dial()
+					defer conn.Close()
+					cs, err := client(k, tn.spec.parties[k]).ConnectContract(conn, service.RoleProvider, tn.contract.ID)
+					check(err)
+					check(cs.SubmitRelation(tn.contract.ID, rel))
+				}(k, rel)
+			}
+			conn := dial()
+			defer conn.Close()
+			cs, err := client(2, tn.spec.parties[2]).ConnectContract(conn, service.RoleRecipient, tn.contract.ID)
+			check(err)
 
-	// Route the accepted connections into the service. Party names are
-	// resolved by the hello message, so the placeholder keys are fine.
-	for i := 0; i < 3; i++ {
-		<-accepted
+			eq, _ := relation.NewEqui(tn.relA.Schema, "key", tn.relB.Schema, "key")
+			want := relation.ReferenceJoin(tn.relA, tn.relB, eq)
+			outMu.Lock()
+			if tn.spec.algorithm == "aggregate" {
+				outMu.Unlock()
+				agg, err := cs.ReceiveAggregate()
+				check(err)
+				outMu.Lock()
+				fmt.Printf("%-22s %-9s -> %s received COUNT = %d (reference %d)\n",
+					tn.spec.id, tn.spec.algorithm, tn.spec.parties[2], agg.Count, want.Len())
+			} else {
+				outMu.Unlock()
+				result, err := cs.ReceiveResult()
+				check(err)
+				outMu.Lock()
+				fmt.Printf("%-22s %-9s -> %s received %d join rows (reference %d)\n",
+					tn.spec.id, tn.spec.algorithm, tn.spec.parties[2], result.Len(), want.Len())
+			}
+			outMu.Unlock()
+			inner.Wait()
+		}(tn)
 	}
-	mu.Lock()
-	cc := conns
-	mu.Unlock()
-	check(svc.Execute(cc))
 	wg.Wait()
-
-	eq, _ := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
-	want := relation.ReferenceJoin(relA, relB, eq)
-	fmt.Printf("\nanalyst received %d join rows over TCP (reference: %d) using %s\n",
-		result.Len(), want.Len(), *alg)
-	for i, row := range result.Rows {
-		if i >= 5 {
-			fmt.Printf("  ... %d more\n", result.Len()-5)
-			break
+	for _, tn := range tenants {
+		<-tn.job.Done()
+		if tn.job.State() != server.StateDelivered {
+			log.Fatalf("job %s ended %s: %v", tn.contract.ID, tn.job.State(), tn.job.Err())
 		}
-		fmt.Printf("  key=%d  airline.payload=%d  agency.payload=%d\n", row[0].I, row[1].I, row[3].I)
 	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	check(srv.Shutdown(ctx))
+	ln.Close()
+	check(<-serveDone)
+
+	snap := srv.MetricsSnapshot()
+	js, err := snap.JSON()
+	check(err)
+	fmt.Printf("\nadmin metrics snapshot after drain:\n%s\n", js)
+}
+
+type keypair struct {
+	pub  []byte
+	priv []byte
 }
 
 func check(err error) {

@@ -68,6 +68,17 @@ type Plan struct {
 	Reason string
 }
 
+// AlgorithmName renders the chosen algorithm in the contract vocabulary
+// ("alg1".."alg6", or "aggregate" for the aggregation pass), so schedulers
+// that plan per-contract (an "auto" algorithm in internal/server) can feed
+// the decision back into the service execution path.
+func (p Plan) AlgorithmName() string {
+	if p.Algorithm == 0 {
+		return "aggregate"
+	}
+	return fmt.Sprintf("alg%d", p.Algorithm)
+}
+
 // String renders the plan.
 func (p Plan) String() string {
 	if p.Algorithm == 0 {

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ppj/internal/service"
+)
+
+// State is a job's position in its lifecycle. States only move forward:
+//
+//	Pending → Uploading → Running → Delivered
+//	                 \________\___→ Failed
+//
+// A ready job (all uploads in, all recipients connected) sits in the FIFO
+// queue in state Uploading until a worker picks it up; the queue-depth
+// gauge counts those.
+type State int32
+
+const (
+	// StatePending: the contract is registered, no party has connected.
+	StatePending State = iota
+	// StateUploading: sessions are active; provider relations are arriving.
+	StateUploading
+	// StateRunning: a worker is executing the join inside T.
+	StateRunning
+	// StateDelivered: every recipient received the sealed result.
+	StateDelivered
+	// StateFailed: the job ended without delivering a result (join error,
+	// queue backpressure, cancellation, deadline, or shutdown). Recipients
+	// that connected are told why.
+	StateFailed
+
+	numStates = 5
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateUploading:
+		return "uploading"
+	case StateRunning:
+		return "running"
+	case StateDelivered:
+		return "delivered"
+	case StateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDelivered || s == StateFailed }
+
+// Job is one execution of a registered contract: it gathers the parties'
+// sessions, waits in the ready queue, runs on a worker, and delivers.
+type Job struct {
+	svc    *service.Service
+	srv    *Server
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	providers      int
+	wantRecipients int
+
+	mu         sync.Mutex
+	state      State
+	uploaded   int
+	recipients []parkedRecipient
+	enqueued   bool
+	err        error
+	runStart   time.Time
+
+	// done closes after the terminal transition and all deliveries.
+	done chan struct{}
+}
+
+// parkedRecipient is a recipient session awaiting the result.
+type parkedRecipient struct {
+	name string
+	sess *service.Session
+}
+
+// Contract returns the contract this job executes.
+func (j *Job) Contract() *service.Contract { return j.svc.Contract }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the failure cause of a Failed job (nil otherwise).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done returns a channel that closes once the job reaches a terminal state
+// and every connected recipient has been answered.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel aborts the job: queued or gathering jobs fail with
+// context.Canceled; a running job fails as soon as its worker observes the
+// cancellation.
+func (j *Job) Cancel() { j.cancel() }
+
+// setStateLocked transitions the state and keeps the per-state gauges
+// consistent. Callers hold j.mu.
+func (j *Job) setStateLocked(to State) {
+	j.srv.metrics.stateMove(j.state, to)
+	j.state = to
+}
+
+// noteSession records that a party connected, moving Pending → Uploading.
+func (j *Job) noteSession() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StatePending {
+		j.setStateLocked(StateUploading)
+	}
+}
+
+// readyLocked reports (once) that every provider uploaded and every
+// recipient is parked; the caller must then enqueue the job.
+func (j *Job) readyLocked() bool {
+	if j.enqueued || j.state.Terminal() {
+		return false
+	}
+	if j.uploaded >= j.providers && len(j.recipients) >= j.wantRecipients {
+		j.enqueued = true
+		return true
+	}
+	return false
+}
+
+// providerUploaded counts a completed upload and enqueues the job when it
+// becomes ready.
+func (j *Job) providerUploaded() {
+	j.mu.Lock()
+	j.uploaded++
+	ready := j.readyLocked()
+	j.mu.Unlock()
+	if ready {
+		j.srv.enqueue(j)
+	}
+}
+
+// addRecipient parks a recipient session for delivery. If the job already
+// failed, the recipient is answered immediately.
+func (j *Job) addRecipient(name string, sess *service.Session) error {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		out := service.Outcome{Err: j.err, Algorithm: j.svc.Contract.Algorithm}
+		j.mu.Unlock()
+		return j.svc.Deliver(sess, out)
+	}
+	if j.state == StatePending {
+		j.setStateLocked(StateUploading)
+	}
+	j.recipients = append(j.recipients, parkedRecipient{name: name, sess: sess})
+	ready := j.readyLocked()
+	j.mu.Unlock()
+	if ready {
+		j.srv.enqueue(j)
+	}
+	return nil
+}
+
+// startRun marks the job Running. It returns false when the job reached a
+// terminal state before a worker picked it up (cancellation, deadline,
+// shutdown).
+func (j *Job) startRun() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.setStateLocked(StateRunning)
+	j.runStart = time.Now()
+	return true
+}
+
+// finish delivers a computed outcome to every parked recipient and settles
+// the terminal state. No-op if the job already failed (e.g. deadline fired
+// mid-run).
+func (j *Job) finish(out service.Outcome) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	recips := j.recipients
+	j.recipients = nil
+	j.err = out.Err
+	if out.Err != nil {
+		j.setStateLocked(StateFailed)
+	} else {
+		j.setStateLocked(StateDelivered)
+	}
+	elapsed := time.Since(j.runStart)
+	j.mu.Unlock()
+	j.cancel()
+	for _, r := range recips {
+		// Best effort: a recipient that hung up forfeits its copy; the
+		// others still get theirs.
+		_ = j.svc.Deliver(r.sess, out)
+	}
+	j.srv.metrics.recordRun(out.Algorithm, out.Err == nil, elapsed)
+	j.srv.metrics.addStats(out.Stats)
+	close(j.done)
+}
+
+// fail moves the job to Failed with the given cause, answering any parked
+// recipients. skipRunning leaves in-flight jobs alone (graceful shutdown
+// drains them). Returns true if this call performed the transition.
+func (j *Job) fail(cause error, skipRunning bool) bool {
+	j.mu.Lock()
+	if j.state.Terminal() || (skipRunning && j.state == StateRunning) {
+		j.mu.Unlock()
+		return false
+	}
+	j.err = cause
+	recips := j.recipients
+	j.recipients = nil
+	j.setStateLocked(StateFailed)
+	j.mu.Unlock()
+	j.cancel()
+	out := service.Outcome{Err: cause, Algorithm: j.svc.Contract.Algorithm}
+	for _, r := range recips {
+		_ = j.svc.Deliver(r.sess, out)
+	}
+	j.srv.metrics.recordFailure(j.svc.Contract.Algorithm)
+	close(j.done)
+	return true
+}
+
+// watch enforces the job's context: cancellation or deadline expiry fails
+// the job wherever it is in the lifecycle (a running job is failed so its
+// recipients learn the outcome even if the worker is still grinding).
+func (j *Job) watch() {
+	select {
+	case <-j.ctx.Done():
+		j.fail(j.ctx.Err(), false)
+	case <-j.done:
+	}
+}

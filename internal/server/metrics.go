@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppj/internal/sim"
+)
+
+// Metrics is the server's observability surface: lock-free counters and
+// gauges on the hot paths (submissions, state transitions, queue depth,
+// aggregated coprocessor cost counters) plus a small mutex-guarded map of
+// per-algorithm completion counts and latency summaries. Snapshot exports
+// everything as one JSON-serialisable value through the admin method
+// Server.MetricsSnapshot.
+type Metrics struct {
+	submitted  atomic.Uint64
+	gauges     [numStates]atomic.Int64
+	queueDepth atomic.Int64
+	cop        sim.AtomicStats
+
+	mu   sync.Mutex
+	algs map[string]*algStats
+}
+
+type algStats struct {
+	completed uint64
+	failed    uint64
+	samples   uint64
+	total     time.Duration
+	min       time.Duration
+	max       time.Duration
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{algs: make(map[string]*algStats)}
+}
+
+// jobSubmitted counts a registration (a job entering Pending).
+func (m *Metrics) jobSubmitted() {
+	m.submitted.Add(1)
+	m.gauges[StatePending].Add(1)
+}
+
+// stateMove keeps the per-state gauges consistent across a transition. The
+// invariant sum(gauges) == submitted holds at all times; terminal states
+// accumulate, so delivered + failed + (non-terminal states) == submitted.
+func (m *Metrics) stateMove(from, to State) {
+	m.gauges[from].Add(-1)
+	m.gauges[to].Add(1)
+}
+
+// queueAdd adjusts the ready-queue depth gauge.
+func (m *Metrics) queueAdd(delta int64) { m.queueDepth.Add(delta) }
+
+// recordRun records a worker-executed job: completion count and, for
+// successful runs, the execution latency summary.
+func (m *Metrics) recordRun(alg string, ok bool, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a := m.algs[alg]
+	if a == nil {
+		a = &algStats{}
+		m.algs[alg] = a
+	}
+	if !ok {
+		a.failed++
+		return
+	}
+	a.completed++
+	a.samples++
+	a.total += d
+	if a.samples == 1 || d < a.min {
+		a.min = d
+	}
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// recordFailure records a job that failed without running (backpressure,
+// cancellation, deadline, shutdown).
+func (m *Metrics) recordFailure(alg string) { m.recordRun(alg, false, 0) }
+
+// addStats folds one execution's coprocessor cost counters into the
+// server-wide aggregate.
+func (m *Metrics) addStats(s sim.Stats) { m.cop.Add(s) }
+
+// AlgSnapshot summarises one algorithm's completions.
+type AlgSnapshot struct {
+	Completed uint64  `json:"completed"`
+	Failed    uint64  `json:"failed"`
+	AvgMillis float64 `json:"avg_ms"`
+	MinMillis float64 `json:"min_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+// Snapshot is a point-in-time view of the server's metrics, shaped for JSON.
+type Snapshot struct {
+	// Submitted counts every job ever registered.
+	Submitted uint64 `json:"submitted"`
+	// Jobs holds the current per-state gauges; terminal states accumulate,
+	// so summing every state yields Submitted.
+	Jobs map[string]int64 `json:"jobs"`
+	// QueueDepth is the number of ready jobs waiting for a worker.
+	QueueDepth int64 `json:"queue_depth"`
+	// Algorithms maps the executed algorithm ("alg1".."alg6", "aggregate";
+	// for auto contracts, the planner's choice) to its completion summary.
+	Algorithms map[string]AlgSnapshot `json:"algorithms"`
+	// Coprocessor aggregates sim.Stats across every finished execution:
+	// cells in/out of T, logical reads, comparisons, predicate
+	// evaluations, disk requests.
+	Coprocessor sim.Stats `json:"coprocessor"`
+}
+
+// Snapshot captures the current metrics.
+func (m *Metrics) Snapshot() Snapshot {
+	snap := Snapshot{
+		Submitted:   m.submitted.Load(),
+		Jobs:        make(map[string]int64, numStates),
+		QueueDepth:  m.queueDepth.Load(),
+		Algorithms:  make(map[string]AlgSnapshot),
+		Coprocessor: m.cop.Snapshot(),
+	}
+	for s := StatePending; s <= StateFailed; s++ {
+		snap.Jobs[s.String()] = m.gauges[s].Load()
+	}
+	m.mu.Lock()
+	for alg, a := range m.algs {
+		as := AlgSnapshot{Completed: a.completed, Failed: a.failed}
+		if a.samples > 0 {
+			as.AvgMillis = float64(a.total.Microseconds()) / float64(a.samples) / 1e3
+			as.MinMillis = float64(a.min.Microseconds()) / 1e3
+			as.MaxMillis = float64(a.max.Microseconds()) / 1e3
+		}
+		snap.Algorithms[alg] = as
+	}
+	m.mu.Unlock()
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnknownContract reports a hello that names no registered contract.
+var ErrUnknownContract = errors.New("server: unknown contract")
+
+// Registry maps contract IDs to their jobs, so one listener can serve
+// sessions for any registered contract: the hello's ContractID routes the
+// connection (§3.3.3's "contracts are kept encrypted at the server", made
+// multi-tenant).
+type Registry struct {
+	mu    sync.RWMutex
+	jobs  map[string]*Job
+	order []string
+}
+
+func newRegistry() *Registry {
+	return &Registry{jobs: make(map[string]*Job)}
+}
+
+// add registers a job under its contract ID.
+func (r *Registry) add(j *Job) error {
+	id := j.Contract().ID
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.jobs[id]; dup {
+		return fmt.Errorf("server: contract %q already registered", id)
+	}
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	return nil
+}
+
+// Lookup resolves a contract ID to its job. An empty ID is accepted only
+// when exactly one contract is registered (backward compatibility with
+// single-contract clients that predate ContractID in the hello).
+func (r *Registry) Lookup(id string) (*Job, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id == "" {
+		if len(r.order) == 1 {
+			return r.jobs[r.order[0]], nil
+		}
+		return nil, fmt.Errorf("%w: hello names no contract and %d are registered", ErrUnknownContract, len(r.order))
+	}
+	j, ok := r.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownContract, id)
+	}
+	return j, nil
+}
+
+// Jobs returns every registered job in registration order.
+func (r *Registry) Jobs() []*Job {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Job, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.jobs[id])
+	}
+	return out
+}
+
+// Len returns the number of registered contracts.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}

@@ -1,0 +1,316 @@
+// Package server is the serving layer over the paper's contract protocol: a
+// long-running, multi-tenant join server. One attested device arbitrates
+// many registered contracts; a single listener accepts sessions for any of
+// them (the hello's ContractID routes each connection); and a bounded
+// worker pool of simulated coprocessors executes ready jobs from a FIFO
+// queue with explicit backpressure. This is the shape TEE-backed encrypted
+// databases take in production — a continuously available service
+// dispatching oblivious joins across limited secure-worker capacity —
+// rather than the one-shot Service.Execute flow.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ppj/internal/secop"
+	"ppj/internal/service"
+)
+
+// ErrQueueFull is the typed backpressure error: the ready-job queue is at
+// capacity, so the job is rejected rather than buffered without bound.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown reports a job or registration refused because the server
+// is draining.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the coprocessor pool size P (concurrently running jobs).
+	// Defaults to 2.
+	Workers int
+	// QueueDepth bounds the ready-job FIFO queue; a job that becomes ready
+	// while the queue is full fails with ErrQueueFull. Defaults to 16.
+	QueueDepth int
+	// Memory is the per-job coprocessor free memory M in tuples (0 =
+	// effectively unbounded).
+	Memory int
+	// Seed pins every job's coprocessor randomness (tests only). Zero —
+	// the production setting — draws fresh crypto/rand entropy per job.
+	Seed uint64
+	// JobTimeout, when positive, bounds each job's lifetime from
+	// registration; expiry fails the job with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// Logf, when set, receives connection-level errors from Serve.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the device, the contract registry, the worker pool, and the
+// metrics.
+type Server struct {
+	cfg      Config
+	device   *secop.Device
+	registry *Registry
+	metrics  *Metrics
+	queue    chan *Job
+
+	mu           sync.Mutex
+	started      bool
+	shuttingDown bool
+
+	wg sync.WaitGroup // workers
+}
+
+// New boots a device, loads the service's software stack onto it, and
+// prepares (but does not start) the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	dev, err := service.BootDevice()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		device:   dev,
+		registry: newRegistry(),
+		metrics:  newMetrics(),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}, nil
+}
+
+// Device returns the server's attested device; clients pin its key.
+func (s *Server) Device() *secop.Device { return s.device }
+
+// Registry exposes the contract registry.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// MetricsSnapshot is the admin method: a JSON-serialisable view of the
+// server's counters and gauges.
+func (s *Server) MetricsSnapshot() Snapshot { return s.metrics.Snapshot() }
+
+// Start launches the worker pool. Serve calls it implicitly; tests that
+// drive HandleConn directly may delay it to control scheduling.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Register verifies and admits a contract, creating its job in state
+// Pending. The job's deadline starts now when Config.JobTimeout is set.
+func (s *Server) Register(c *service.Contract) (*Job, error) {
+	s.mu.Lock()
+	down := s.shuttingDown
+	s.mu.Unlock()
+	if down {
+		return nil, ErrShuttingDown
+	}
+	if err := c.CheckRoles(); err != nil {
+		return nil, err
+	}
+	svc, err := service.NewServiceWithDevice(s.device, c, s.cfg.Memory, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	providers, recipients := c.CountRoles()
+	ctx, cancel := context.WithCancel(context.Background())
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	}
+	j := &Job{
+		svc:            svc,
+		srv:            s,
+		ctx:            ctx,
+		cancel:         cancel,
+		providers:      providers,
+		wantRecipients: recipients,
+		state:          StatePending,
+		done:           make(chan struct{}),
+	}
+	if err := s.registry.add(j); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.metrics.jobSubmitted()
+	go j.watch()
+	return j, nil
+}
+
+// HandleConn serves one party's connection end to end: it reads the hello,
+// routes it to the registered contract, completes the attested handshake,
+// and then either ingests the provider's upload or parks the recipient
+// session until the job delivers (the call blocks until then, keeping the
+// connection alive).
+func (s *Server) HandleConn(conn io.ReadWriter) error {
+	sess, hello, err := service.ReadHello(conn)
+	if err != nil {
+		return err
+	}
+	j, err := s.registry.Lookup(hello.ContractID)
+	if err != nil {
+		return err
+	}
+	party, err := j.svc.Handshake(sess, hello)
+	if err != nil {
+		return fmt.Errorf("server: contract %s: %w", j.Contract().ID, err)
+	}
+	j.noteSession()
+	switch party.Role {
+	case service.RoleProvider:
+		if err := j.svc.ReceiveUpload(party.Name, sess); err != nil {
+			return fmt.Errorf("server: upload from %s: %w", party.Name, err)
+		}
+		j.providerUploaded()
+		return nil
+	case service.RoleRecipient:
+		if err := j.addRecipient(party.Name, sess); err != nil {
+			return err
+		}
+		// Keep the connection open until the job answers the recipient.
+		<-j.Done()
+		return nil
+	}
+	return fmt.Errorf("server: party %s has unknown role %q", party.Name, party.Role)
+}
+
+// Serve accepts connections from ln until it closes, handling each in its
+// own goroutine. Accept errors after Shutdown are reported as a clean exit.
+func (s *Server) Serve(ln net.Listener) error {
+	s.Start()
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shuttingDown
+			s.mu.Unlock()
+			if down {
+				return nil
+			}
+			return err
+		}
+		conns.Add(1)
+		go func(conn net.Conn) {
+			defer conns.Done()
+			defer conn.Close()
+			if err := s.HandleConn(conn); err != nil {
+				s.logf("server: %v", err)
+			}
+		}(conn)
+	}
+}
+
+// enqueue pushes a ready job onto the FIFO queue, failing it with
+// ErrQueueFull when the queue is at capacity (queue-depth backpressure)
+// or ErrShuttingDown during drain.
+func (s *Server) enqueue(j *Job) {
+	s.mu.Lock()
+	if s.shuttingDown {
+		s.mu.Unlock()
+		j.fail(ErrShuttingDown, false)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.queueAdd(1)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		j.fail(fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue)), false)
+	}
+}
+
+// worker executes ready jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.queueAdd(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob is one worker's handling of one job: honour cancellation and
+// deadlines, execute the contract, deliver.
+func (s *Server) runJob(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		j.fail(err, false)
+		return
+	}
+	if !j.startRun() {
+		return // failed (canceled, deadline, shutdown) before pickup
+	}
+	out := j.svc.RunContract()
+	if err := j.ctx.Err(); err != nil && out.Err == nil {
+		out.Err = err
+	}
+	j.finish(out)
+}
+
+// Shutdown drains the server gracefully: no new registrations or enqueues
+// are admitted, queued jobs fail with ErrShuttingDown, jobs still gathering
+// sessions fail likewise, and in-flight jobs run to completion. It returns
+// once the workers exit or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var queued []*Job
+	s.mu.Lock()
+	if !s.shuttingDown {
+		s.shuttingDown = true
+		for {
+			var drained bool
+			select {
+			case j := <-s.queue:
+				s.metrics.queueAdd(-1)
+				queued = append(queued, j)
+			default:
+				drained = true
+			}
+			if drained {
+				break
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.fail(ErrShuttingDown, false)
+	}
+	for _, j := range s.registry.Jobs() {
+		j.fail(ErrShuttingDown, true) // skip Running: workers drain them
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -29,21 +29,30 @@ type Client struct {
 // ClientSession is an authenticated channel to the attested coprocessor.
 type ClientSession struct {
 	client *Client
-	sess   *session
+	sess   *Session
 }
 
 // Connect performs the handshake of §3.3.3: the client challenges the
 // device, verifies its outbound authentication chain against the pinned
 // measurements, and establishes an X25519 session key whose server share is
 // signed by the attested application layer. The host relaying the traffic
-// learns nothing but ciphertext.
+// learns nothing but ciphertext. The hello names no contract, which
+// single-contract services accept; use ConnectContract against a
+// multi-tenant server.
 func (c *Client) Connect(conn io.ReadWriter, role Role) (*ClientSession, error) {
+	return c.ConnectContract(conn, role, "")
+}
+
+// ConnectContract is Connect with an explicit contract ID in the hello, so
+// a multi-tenant listener (internal/server) can route the session to the
+// right registered contract before attestation completes.
+func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID string) (*ClientSession, error) {
 	sess := newSession(conn)
 	challenge := make([]byte, 32)
 	if _, err := rand.Read(challenge); err != nil {
 		return nil, err
 	}
-	if err := sess.enc.Encode(helloMsg{Party: c.Name, Role: role, Challenge: challenge}); err != nil {
+	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID}); err != nil {
 		return nil, err
 	}
 	var auth serverAuthMsg
@@ -90,7 +99,7 @@ func (c *Client) Connect(conn io.ReadWriter, role Role) (*ClientSession, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &ClientSession{client: c, sess: &session{enc: sess.enc, dec: sess.dec, sealer: sealDir, opener: open}}, nil
+	return &ClientSession{client: c, sess: &Session{enc: sess.enc, dec: sess.dec, sealer: sealDir, opener: open}}, nil
 }
 
 // SubmitRelation uploads a provider's relation under the session key, each

@@ -156,11 +156,15 @@ func (c *Contract) PartyIndex(name string) int {
 
 // --- Wire messages (gob-encoded over the connection) ---
 
-// helloMsg opens a session.
-type helloMsg struct {
-	Party     string
-	Role      Role
-	Challenge []byte // attestation nonce
+// Hello opens a session. ContractID names the contract the requestor wants
+// to act under, so one listener can serve many contracts (the multi-tenant
+// server in internal/server routes sessions by it). An empty ContractID is
+// accepted by single-contract services for backward compatibility.
+type Hello struct {
+	Party      string
+	Role       Role
+	Challenge  []byte // attestation nonce
+	ContractID string
 }
 
 // serverAuthMsg carries the device attestation and the service's ephemeral
@@ -223,17 +227,29 @@ type resultMsg struct {
 	Err string
 }
 
-// session wraps a connection with gob codecs and the directional session
+// Session wraps a connection with gob codecs and the directional session
 // sealers (sealer encrypts outgoing payloads, opener decrypts incoming).
-type session struct {
+type Session struct {
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	sealer *sessionSealer
 	opener *sessionSealer
 }
 
-func newSession(rw io.ReadWriter) *session {
-	return &session{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+func newSession(rw io.ReadWriter) *Session {
+	return &Session{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// ReadHello reads the opening message of a session without answering it.
+// The caller routes on Hello.ContractID (and may then complete the
+// handshake with the matching service's Handshake).
+func ReadHello(conn io.ReadWriter) (*Session, Hello, error) {
+	sess := newSession(conn)
+	var hello Hello
+	if err := sess.dec.Decode(&hello); err != nil {
+		return nil, Hello{}, fmt.Errorf("service: reading hello: %w", err)
+	}
+	return sess, hello, nil
 }
 
 // sessionSealer is OCB under the derived session key with a counter nonce

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"crypto/ecdh"
 	"crypto/ed25519"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -11,6 +13,7 @@ import (
 	"sync"
 
 	"ppj/internal/core"
+	"ppj/internal/query"
 	"ppj/internal/relation"
 	"ppj/internal/secop"
 	"ppj/internal/sim"
@@ -35,13 +38,34 @@ func ExpectedStack() secop.ExpectedStack {
 	return exp
 }
 
+// BootDevice manufactures a device and loads the service's boot hierarchy.
+// A multi-tenant server boots one device and binds many contracts to it via
+// NewServiceWithDevice.
+func BootDevice() (*secop.Device, error) {
+	dev, err := secop.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	for _, img := range Images() {
+		if err := dev.Load(img); err != nil {
+			return nil, err
+		}
+	}
+	return dev, nil
+}
+
 // Service is the service provider: device, host, coprocessor, and the
-// contract it arbitrates.
+// contract it arbitrates. A Service holds the state of one execution of its
+// contract (the uploads map); run each contract instance on a fresh Service.
 type Service struct {
 	Device   *secop.Device
 	Contract *Contract
 	Memory   int
-	Seed     uint64
+	// Seed pins T's internal randomness for reproducible tests. Zero (the
+	// production setting) draws a fresh seed from crypto/rand for every
+	// execution, so two jobs never replay the same MLFSR traversal or decoy
+	// placement.
+	Seed uint64
 
 	mu      sync.Mutex
 	uploads map[string]*upload
@@ -56,17 +80,19 @@ type upload struct {
 // NewService manufactures and boots a device and binds it to a verified
 // contract.
 func NewService(contract *Contract, memory int, seed uint64) (*Service, error) {
-	if err := contract.Verify(); err != nil {
-		return nil, err
-	}
-	dev, err := secop.NewDevice()
+	dev, err := BootDevice()
 	if err != nil {
 		return nil, err
 	}
-	for _, img := range Images() {
-		if err := dev.Load(img); err != nil {
-			return nil, err
-		}
+	return NewServiceWithDevice(dev, contract, memory, seed)
+}
+
+// NewServiceWithDevice binds a verified contract to an already-booted
+// device. Used by the multi-tenant server, whose single attested device
+// arbitrates every registered contract.
+func NewServiceWithDevice(dev *secop.Device, contract *Contract, memory int, seed uint64) (*Service, error) {
+	if err := contract.Verify(); err != nil {
+		return nil, err
 	}
 	return &Service{
 		Device:   dev,
@@ -77,13 +103,9 @@ func NewService(contract *Contract, memory int, seed uint64) (*Service, error) {
 	}, nil
 }
 
-// Execute serves one connection per contract party (in any order),
-// completes every handshake and upload, runs the contracted join, and
-// delivers the result to each recipient. It returns after all sessions
-// finish.
-func (s *Service) Execute(conns map[string]io.ReadWriter) error {
-	providers, recipients := 0, 0
-	for _, p := range s.Contract.Parties {
+// CountRoles tallies the contract's providers and recipients.
+func (c *Contract) CountRoles() (providers, recipients int) {
+	for _, p := range c.Parties {
 		switch p.Role {
 		case RoleProvider:
 			providers++
@@ -91,16 +113,34 @@ func (s *Service) Execute(conns map[string]io.ReadWriter) error {
 			recipients++
 		}
 	}
+	return providers, recipients
+}
+
+// CheckRoles validates that the contract names enough parties to execute.
+func (c *Contract) CheckRoles() error {
+	providers, recipients := c.CountRoles()
 	if providers < 2 {
-		return fmt.Errorf("service: contract %s has %d providers, need >= 2", s.Contract.ID, providers)
+		return fmt.Errorf("service: contract %s has %d providers, need >= 2", c.ID, providers)
 	}
 	if recipients < 1 {
-		return fmt.Errorf("service: contract %s names no recipient", s.Contract.ID)
+		return fmt.Errorf("service: contract %s names no recipient", c.ID)
 	}
+	return nil
+}
+
+// Execute serves one connection per contract party (in any order),
+// completes every handshake and upload, runs the contracted join, and
+// delivers the result to each recipient. It returns after all sessions
+// finish.
+func (s *Service) Execute(conns map[string]io.ReadWriter) error {
+	if err := s.Contract.CheckRoles(); err != nil {
+		return err
+	}
+	providers, recipients := s.Contract.CountRoles()
 
 	type recipientSession struct {
 		name string
-		sess *session
+		sess *Session
 	}
 	var (
 		wg      sync.WaitGroup
@@ -121,7 +161,7 @@ func (s *Service) Execute(conns map[string]io.ReadWriter) error {
 			// decides where the data belongs.
 			switch party.Role {
 			case RoleProvider:
-				if err := s.receiveUpload(party.Name, sess); err != nil {
+				if err := s.ReceiveUpload(party.Name, sess); err != nil {
 					errs <- fmt.Errorf("service: upload from %s: %w", party.Name, err)
 					return
 				}
@@ -140,18 +180,7 @@ func (s *Service) Execute(conns map[string]io.ReadWriter) error {
 			return err
 		}
 	}
-	var (
-		rows    [][]byte
-		schema  *relation.Schema
-		padded  bool
-		aggCell []byte
-		joinErr error
-	)
-	if s.Contract.Algorithm == "aggregate" {
-		aggCell, joinErr = s.runAggregate()
-	} else {
-		rows, schema, padded, joinErr = s.runJoin()
-	}
+	out := s.RunContract()
 
 	// Deliver to recipients (or report the failure).
 	for i := 0; i < recipients; i++ {
@@ -161,21 +190,7 @@ func (s *Service) Execute(conns map[string]io.ReadWriter) error {
 		case err := <-errs:
 			return err
 		}
-		msg := resultMsg{ContractID: s.Contract.ID, Padded: padded}
-		switch {
-		case joinErr != nil:
-			msg.Err = joinErr.Error()
-		case aggCell != nil:
-			msg.Agg = rs.sess.sealer.seal(aggCell)
-		default:
-			msg.Schema = toWire(schema)
-			sealed := make([][]byte, len(rows))
-			for j, r := range rows {
-				sealed[j] = rs.sess.sealer.seal(r)
-			}
-			msg.Rows = sealed
-		}
-		if err := rs.sess.enc.Encode(msg); err != nil {
+		if err := s.Deliver(rs.sess, out); err != nil {
 			return fmt.Errorf("service: delivering to %s: %w", rs.name, err)
 		}
 	}
@@ -186,86 +201,108 @@ func (s *Service) Execute(conns map[string]io.ReadWriter) error {
 			return err
 		}
 	}
-	return joinErr
+	return out.Err
 }
 
-// handshake authenticates the device to the client and the client to the
+// handshake reads the hello and completes the handshake against this
+// service's contract (single-contract listeners; the multi-tenant server
+// uses ReadHello + Handshake to route first).
+func (s *Service) handshake(conn io.ReadWriter) (*Session, Party, error) {
+	sess, hello, err := ReadHello(conn)
+	if err != nil {
+		return nil, Party{}, err
+	}
+	party, err := s.Handshake(sess, hello)
+	if err != nil {
+		return nil, Party{}, err
+	}
+	return sess, party, nil
+}
+
+// Handshake authenticates the device to the client and the client to the
 // contract, deriving the session sealer. It returns the authenticated
-// contract party.
-func (s *Service) handshake(conn io.ReadWriter) (*session, Party, error) {
-	sess := newSession(conn)
-	var hello helloMsg
-	if err := sess.dec.Decode(&hello); err != nil {
-		return nil, Party{}, fmt.Errorf("reading hello: %w", err)
+// contract party. The hello must already have been read (ReadHello), so a
+// multi-contract listener can route on Hello.ContractID before committing
+// to a contract.
+func (s *Service) Handshake(sess *Session, hello Hello) (Party, error) {
+	if hello.ContractID != "" && hello.ContractID != s.Contract.ID {
+		return Party{}, fmt.Errorf("hello for foreign contract %q, serving %s", hello.ContractID, s.Contract.ID)
 	}
 	idx := s.Contract.PartyIndex(hello.Party)
 	if idx < 0 {
-		return nil, Party{}, fmt.Errorf("party %q not in contract %s", hello.Party, s.Contract.ID)
+		return Party{}, fmt.Errorf("party %q not in contract %s", hello.Party, s.Contract.ID)
 	}
 	party := s.Contract.Parties[idx]
 	if party.Role != hello.Role {
-		return nil, Party{}, fmt.Errorf("party %q claims role %s, contract says %s", hello.Party, hello.Role, party.Role)
+		return Party{}, fmt.Errorf("party %q claims role %s, contract says %s", hello.Party, hello.Role, party.Role)
 	}
 
 	att, err := s.Device.Attest(hello.Challenge)
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	var attBuf bytes.Buffer
 	if err := gob.NewEncoder(&attBuf).Encode(att); err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	eph, err := newECDHKey()
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	sig, err := s.Device.AppSign(append(append([]byte(nil), hello.Challenge...), eph.PublicKey().Bytes()...))
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	if err := sess.enc.Encode(serverAuthMsg{
 		AttChainGob: attBuf.Bytes(),
 		ECDHPub:     eph.PublicKey().Bytes(),
 		Sig:         sig,
 	}); err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 
 	var ck clientKeyMsg
 	if err := sess.dec.Decode(&ck); err != nil {
-		return nil, Party{}, fmt.Errorf("reading client key: %w", err)
+		return Party{}, fmt.Errorf("reading client key: %w", err)
 	}
 	transcript := append(append([]byte(nil), eph.PublicKey().Bytes()...), ck.ECDHPub...)
 	if !ed25519.Verify(party.Identity, transcript, ck.Sig) {
-		return nil, Party{}, fmt.Errorf("party %q failed identity authentication", hello.Party)
+		return Party{}, fmt.Errorf("party %q failed identity authentication", hello.Party)
 	}
 	clientPub, err := ecdh.X25519().NewPublicKey(ck.ECDHPub)
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	shared, err := eph.ECDH(clientPub)
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	key := deriveSessionKey(shared, eph.PublicKey().Bytes(), ck.ECDHPub)
 	// Directions: client seals with 'c', server with 's'.
 	open, err := newSessionSealer(key, 'c')
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	sealDir, err := newSessionSealer(key, 's')
 	if err != nil {
-		return nil, Party{}, err
+		return Party{}, err
 	}
 	sess.sealer = sealDir
 	sess.opener = open
-	return sess, party, nil
+	return party, nil
 }
 
-// receiveUpload ingests a provider's relation: every row is opened with the
+// ReceiveUpload ingests a provider's relation: every row is opened with the
 // session key inside T, checked for the contract binding, and retained for
-// the join.
-func (s *Service) receiveUpload(party string, sess *session) error {
+// the join. The duplicate check runs before any ciphertext is read, so a
+// replayed provider connection cannot burn a full decrypt pass.
+func (s *Service) ReceiveUpload(party string, sess *Session) error {
+	s.mu.Lock()
+	_, dup := s.uploads[party]
+	s.mu.Unlock()
+	if dup {
+		return fmt.Errorf("party %q uploaded twice", party)
+	}
 	var msg dataMsg
 	if err := sess.dec.Decode(&msg); err != nil {
 		return err
@@ -297,6 +334,8 @@ func (s *Service) receiveUpload(party string, sess *session) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-check under the lock: two concurrent uploads for the same party
+	// may both pass the early check.
 	if _, dup := s.uploads[party]; dup {
 		return fmt.Errorf("party %q uploaded twice", party)
 	}
@@ -304,10 +343,83 @@ func (s *Service) receiveUpload(party string, sess *session) error {
 	return nil
 }
 
-// runJoin executes the contracted algorithm over the uploaded relations,
-// returning oTuple cells (flag byte + payload).
-func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, err error) {
+// UploadsComplete reports whether every provider's relation has arrived.
+func (s *Service) UploadsComplete() bool {
+	providers, _ := s.Contract.CountRoles()
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.uploads) >= providers
+}
+
+// Outcome is the computed result of a contract execution, ready to be
+// sealed per recipient session by Deliver. Err carries a join failure that
+// is reported to recipients rather than silently dropped.
+type Outcome struct {
+	Rows   [][]byte
+	Schema *relation.Schema
+	Padded bool
+	Agg    []byte
+	// Algorithm is the algorithm actually run ("alg1".."alg6" or
+	// "aggregate") — for "auto" contracts, the planner's choice.
+	Algorithm string
+	// Stats are T's cost counters for this execution.
+	Stats sim.Stats
+	Err   error
+}
+
+// RunContract executes the contracted computation over the received
+// uploads. Failures are recorded in Outcome.Err (delivery still happens so
+// recipients learn of the failure).
+func (s *Service) RunContract() Outcome {
+	if s.Contract.Algorithm == "aggregate" {
+		agg, stats, err := s.runAggregate()
+		return Outcome{Agg: agg, Algorithm: "aggregate", Stats: stats, Err: err}
+	}
+	rows, schema, padded, alg, stats, err := s.runJoin()
+	return Outcome{Rows: rows, Schema: schema, Padded: padded, Algorithm: alg, Stats: stats, Err: err}
+}
+
+// Deliver seals an outcome under a recipient session and sends it.
+func (s *Service) Deliver(sess *Session, out Outcome) error {
+	msg := resultMsg{ContractID: s.Contract.ID, Padded: out.Padded}
+	switch {
+	case out.Err != nil:
+		msg.Err = out.Err.Error()
+	case out.Agg != nil:
+		msg.Agg = sess.sealer.seal(out.Agg)
+	default:
+		msg.Schema = toWire(out.Schema)
+		sealed := make([][]byte, len(out.Rows))
+		for j, r := range out.Rows {
+			sealed[j] = sess.sealer.seal(r)
+		}
+		msg.Rows = sealed
+	}
+	return sess.enc.Encode(msg)
+}
+
+// execSeed resolves the seed for one contract execution: the pinned seed
+// when set (tests), otherwise fresh crypto/rand entropy so concurrent jobs
+// never share shuffle or decoy randomness.
+func (s *Service) execSeed() (uint64, error) {
+	if s.Seed != 0 {
+		return s.Seed, nil
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("service: drawing execution seed: %w", err)
+	}
+	seed := binary.BigEndian.Uint64(b[:])
+	if seed == 0 {
+		seed = 1 // zero would re-trigger "pick for me" downstream
+	}
+	return seed, nil
+}
+
+// gatherUploads collects the providers' relations in contract order.
+func (s *Service) gatherUploads() ([]*relation.Relation, []string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var rels []*relation.Relation
 	var names []string
 	for _, p := range s.Contract.Parties {
@@ -316,42 +428,93 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		up, ok := s.uploads[p.Name]
 		if !ok {
-			s.mu.Unlock()
-			return nil, nil, false, fmt.Errorf("service: provider %s never uploaded", p.Name)
+			return nil, nil, fmt.Errorf("service: provider %s never uploaded", p.Name)
 		}
 		rels = append(rels, up.rel)
 		names = append(names, p.Name)
 	}
-	s.mu.Unlock()
+	return rels, names, nil
+}
 
-	host := sim.NewHost(0)
-	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: s.Seed})
+// planAlgorithm resolves an "auto" contract: the query planner's §4.6/§5.3.4
+// analysis picks the cheapest admissible algorithm for the uploaded
+// relations.
+func (s *Service) planAlgorithm(rels []*relation.Relation) (query.Plan, error) {
+	mem := int64(s.Memory)
+	if mem <= 0 {
+		mem = 1 << 40 // the simulator's "effectively unbounded" convention
+	}
+	q := query.Query{Epsilon: s.Contract.Epsilon}
+	if len(rels) == 2 {
+		pred, err := s.Contract.Predicate.Build(rels[0].Schema, rels[1].Schema)
+		if err != nil {
+			return query.Plan{}, err
+		}
+		q.Predicate = pred
+	} else {
+		mp, err := s.multiPredicate(rels)
+		if err != nil {
+			return query.Plan{}, err
+		}
+		q.Multi = mp
+	}
+	return query.Planner{Memory: mem}.Plan(q, rels)
+}
+
+// runJoin executes the contracted algorithm over the uploaded relations,
+// returning oTuple cells (flag byte + payload), the algorithm actually run,
+// and T's cost counters.
+func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, alg string, stats sim.Stats, err error) {
+	rels, names, err := s.gatherUploads()
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, "", sim.Stats{}, err
+	}
+
+	alg = s.Contract.Algorithm
+	if alg == "auto" {
+		plan, perr := s.planAlgorithm(rels)
+		if perr != nil {
+			return nil, nil, false, "", sim.Stats{}, perr
+		}
+		alg = plan.AlgorithmName()
+	}
+
+	seed, err := s.execSeed()
+	if err != nil {
+		return nil, nil, false, alg, sim.Stats{}, err
+	}
+	host := sim.NewHost(0)
+	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: seed})
+	if err != nil {
+		return nil, nil, false, alg, sim.Stats{}, err
 	}
 	tabs := make([]sim.Table, len(rels))
 	for i, rel := range rels {
 		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, false, alg, sim.Stats{}, err
 		}
 	}
 
+	fail := func(ferr error) ([][]byte, *relation.Schema, bool, string, sim.Stats, error) {
+		return nil, nil, false, alg, cop.Stats(), ferr
+	}
+
 	var res core.Result
-	switch s.Contract.Algorithm {
+	switch alg {
 	case "alg1", "alg2", "alg3":
 		if len(rels) != 2 {
-			return nil, nil, false, fmt.Errorf("service: %s requires exactly 2 providers", s.Contract.Algorithm)
+			return fail(fmt.Errorf("service: %s requires exactly 2 providers", alg))
 		}
 		pred, err := s.Contract.Predicate.Build(rels[0].Schema, rels[1].Schema)
 		if err != nil {
-			return nil, nil, false, err
+			return fail(err)
 		}
 		n := int64(relation.MaxMatches(rels[0], rels[1], pred))
 		if n == 0 {
 			n = 1
 		}
-		switch s.Contract.Algorithm {
+		switch alg {
 		case "alg1":
 			res, err = core.Join1(cop, tabs[0], tabs[1], pred, n)
 		case "alg2":
@@ -359,20 +522,20 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		case "alg3":
 			eq, ok := pred.(*relation.Equi)
 			if !ok {
-				return nil, nil, false, errors.New("service: alg3 requires an equi predicate")
+				return fail(errors.New("service: alg3 requires an equi predicate"))
 			}
 			res, err = core.Join3(cop, tabs[0], tabs[1], eq, n, false)
 		}
 		if err != nil {
-			return nil, nil, false, err
+			return fail(err)
 		}
 		padded = true
 	case "alg4", "alg5", "alg6":
 		pred, err := s.multiPredicate(rels)
 		if err != nil {
-			return nil, nil, false, err
+			return fail(err)
 		}
-		switch s.Contract.Algorithm {
+		switch alg {
 		case "alg4":
 			res, err = core.Join4(cop, tabs, pred)
 		case "alg5":
@@ -383,11 +546,11 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 			res = rep.Result
 		}
 		if err != nil {
-			return nil, nil, false, err
+			return fail(err)
 		}
 		padded = false
 	default:
-		return nil, nil, false, fmt.Errorf("service: unknown algorithm %q", s.Contract.Algorithm)
+		return fail(fmt.Errorf("service: unknown algorithm %q", alg))
 	}
 
 	// Re-open the output cells inside T for recipient re-encryption.
@@ -396,58 +559,50 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		ct := host.Inspect(res.Output.Region, i)
 		cell, err := cop.Sealer().Open(ct)
 		if err != nil {
-			return nil, nil, false, err
+			return fail(err)
 		}
 		out = append(out, cell)
 	}
-	return out, res.Output.Schema, padded, nil
+	return out, res.Output.Schema, padded, alg, cop.Stats(), nil
 }
 
 // runAggregate executes an "aggregate" contract: the statistic is computed
 // in one pass inside T and only the 17-byte result cell leaves it.
-func (s *Service) runAggregate() ([]byte, error) {
-	s.mu.Lock()
-	var rels []*relation.Relation
-	var names []string
-	for _, p := range s.Contract.Parties {
-		if p.Role != RoleProvider {
-			continue
-		}
-		up, ok := s.uploads[p.Name]
-		if !ok {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("service: provider %s never uploaded", p.Name)
-		}
-		rels = append(rels, up.rel)
-		names = append(names, p.Name)
+func (s *Service) runAggregate() ([]byte, sim.Stats, error) {
+	rels, names, err := s.gatherUploads()
+	if err != nil {
+		return nil, sim.Stats{}, err
 	}
-	s.mu.Unlock()
 
 	spec, err := s.aggSpec()
 	if err != nil {
-		return nil, err
+		return nil, sim.Stats{}, err
 	}
 	pred, err := s.multiPredicate(rels)
 	if err != nil {
-		return nil, err
+		return nil, sim.Stats{}, err
+	}
+	seed, err := s.execSeed()
+	if err != nil {
+		return nil, sim.Stats{}, err
 	}
 	host := sim.NewHost(0)
-	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: s.Seed})
+	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: seed})
 	if err != nil {
-		return nil, err
+		return nil, sim.Stats{}, err
 	}
 	tabs := make([]sim.Table, len(rels))
 	for i, rel := range rels {
 		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
 		if err != nil {
-			return nil, err
+			return nil, cop.Stats(), err
 		}
 	}
 	res, err := core.Aggregate(cop, tabs, pred, spec)
 	if err != nil {
-		return nil, err
+		return nil, cop.Stats(), err
 	}
-	return encodeAggCell(res), nil
+	return encodeAggCell(res), cop.Stats(), nil
 }
 
 // aggSpec resolves the contract's aggregate description.

@@ -429,7 +429,7 @@ func TestUploadBoundToContract(t *testing.T) {
 	}
 	server, clientConn := net.Pipe()
 	type hsOut struct {
-		sess *session
+		sess *Session
 		err  error
 	}
 	done := make(chan hsOut, 1)
@@ -449,7 +449,7 @@ func TestUploadBoundToContract(t *testing.T) {
 	}
 	rel := relation.GenKeyed(relation.NewRand(1), 3, 3)
 	go cs.SubmitRelation("some-other-contract", rel)
-	if err := svc.receiveUpload(pA.name, hs.sess); err == nil ||
+	if err := svc.ReceiveUpload(pA.name, hs.sess); err == nil ||
 		!strings.Contains(err.Error(), "foreign contract") {
 		t.Fatalf("foreign-contract upload error = %v", err)
 	}
@@ -470,7 +470,7 @@ func TestDuplicateUploadRejected(t *testing.T) {
 	// must refuse. Drive it through a real session pair.
 	server, clientConn := net.Pipe()
 	type hsOut struct {
-		sess *session
+		sess *Session
 		err  error
 	}
 	done := make(chan hsOut, 1)
@@ -489,7 +489,7 @@ func TestDuplicateUploadRejected(t *testing.T) {
 		t.Fatal(hs.err)
 	}
 	go cs.SubmitRelation(contract.ID, rel)
-	if err := svc.receiveUpload(pA.name, hs.sess); err == nil ||
+	if err := svc.ReceiveUpload(pA.name, hs.sess); err == nil ||
 		!strings.Contains(err.Error(), "twice") {
 		t.Fatalf("duplicate upload error = %v", err)
 	}

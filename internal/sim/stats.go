@@ -1,0 +1,38 @@
+package sim
+
+import "sync/atomic"
+
+// AtomicStats is a thread-safe accumulator of Stats, used to aggregate the
+// cost counters of many coprocessors running concurrently (the serving
+// layer folds every finished job's counters into one of these). The
+// zero value is ready to use.
+type AtomicStats struct {
+	gets         atomic.Uint64
+	puts         atomic.Uint64
+	logicalReads atomic.Uint64
+	comparisons  atomic.Uint64
+	predEvals    atomic.Uint64
+	diskRequests atomic.Uint64
+}
+
+// Add folds a snapshot into the accumulator.
+func (a *AtomicStats) Add(s Stats) {
+	a.gets.Add(s.Gets)
+	a.puts.Add(s.Puts)
+	a.logicalReads.Add(s.LogicalReads)
+	a.comparisons.Add(s.Comparisons)
+	a.predEvals.Add(s.PredEvals)
+	a.diskRequests.Add(s.DiskRequests)
+}
+
+// Snapshot returns the accumulated totals as a plain Stats value.
+func (a *AtomicStats) Snapshot() Stats {
+	return Stats{
+		Gets:         a.gets.Load(),
+		Puts:         a.puts.Load(),
+		LogicalReads: a.logicalReads.Load(),
+		Comparisons:  a.comparisons.Load(),
+		PredEvals:    a.predEvals.Load(),
+		DiskRequests: a.diskRequests.Load(),
+	}
+}
