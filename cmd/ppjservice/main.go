@@ -9,11 +9,19 @@
 //
 // Usage:
 //
-//	ppjservice [-addr 127.0.0.1:0] [-rows 20] [-workers 2] [-queue 8] [-timeout 30s]
+//	ppjservice [-addr 127.0.0.1:0] [-rows 20] [-workers 2] [-queue 8] [-timeout 30s] [-data-dir DIR]
 //
 // The process plays every party (each over its own TCP connection) so the
 // demo is self-contained; the client and server code paths are exactly the
 // library's, and would run unchanged across machines.
+//
+// With -data-dir the server keeps a write-ahead job store there: rerunning
+// the demo against the same directory first replays the previous run's
+// log, printing the recovered job table (a crash mid-run leaves Uploading
+// or Running jobs, which recovery fails deterministically with
+// server.ErrInterrupted). Contract IDs gain a per-run nonce in this mode
+// because recovered registrations are durable and contract IDs are
+// single-use.
 package main
 
 import (
@@ -45,6 +53,7 @@ func main() {
 		workers = flag.Int("workers", 2, "coprocessor worker pool size P")
 		queue   = flag.Int("queue", 8, "ready-job queue depth")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-job deadline")
+		dataDir = flag.String("data-dir", "", "write-ahead job store directory; empty keeps jobs in memory")
 	)
 	flag.Parse()
 
@@ -62,10 +71,29 @@ func main() {
 		Memory:     64,
 		JobTimeout: *timeout,
 		Logf:       log.Printf,
+		DataDir:    *dataDir,
 	})
 	check(err)
 	fmt.Printf("join server up: worker pool P=%d, queue depth %d, device key %x...\n",
 		*workers, *queue, srv.Device().DeviceKey()[:8])
+	if *dataDir != "" {
+		if jobs := srv.Registry().Jobs(); len(jobs) > 0 {
+			fmt.Printf("recovered %d jobs from WAL at %s:\n", len(jobs), *dataDir)
+			for _, j := range jobs {
+				if err := j.Err(); err != nil {
+					fmt.Printf("  %-36s %-10s %v\n", j.Contract().ID, j.State(), err)
+				} else {
+					fmt.Printf("  %-36s %s\n", j.Contract().ID, j.State())
+				}
+			}
+		}
+		// Contract IDs are single-use and recovered registrations persist,
+		// so each durable run gets fresh IDs.
+		nonce := time.Now().UnixNano()
+		for i := range specs {
+			specs[i].id = fmt.Sprintf("%s@%d", specs[i].id, nonce)
+		}
+	}
 	fmt.Println("software stack attested as:")
 	for _, img := range service.Images() {
 		d := img.Digest()

@@ -110,11 +110,23 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // cancellation.
 func (j *Job) Cancel() { j.cancel() }
 
-// setStateLocked transitions the state and keeps the per-state gauges
-// consistent. Callers hold j.mu.
+// setStateLocked transitions the state, keeps the per-state gauges
+// consistent, and appends the transition to the job store. Failure causes
+// are durable (j.err is always set before the transition to StateFailed),
+// so recovery can replay them; a store error is logged but does not undo
+// the in-memory transition — the crash-recovery path owns that gap.
+// Callers hold j.mu.
 func (j *Job) setStateLocked(to State) {
-	j.srv.metrics.stateMove(j.state, to)
+	from := j.state
+	j.srv.metrics.stateMove(from, to)
 	j.state = to
+	cause := ""
+	if to == StateFailed && j.err != nil {
+		cause = j.err.Error()
+	}
+	if err := j.srv.store.LogTransition(j.svc.Contract.ID, from, to, cause); err != nil {
+		j.srv.logf("server: wal: contract %s %s->%s: %v", j.svc.Contract.ID, from, to, err)
+	}
 }
 
 // noteSession records that a party connected, moving Pending → Uploading.

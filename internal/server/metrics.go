@@ -44,6 +44,14 @@ func (m *Metrics) jobSubmitted() {
 	m.gauges[StatePending].Add(1)
 }
 
+// jobRecovered counts a job rebuilt from the WAL directly into its
+// recovered state — recovery bypasses the intermediate transitions, so the
+// gauge invariant sum(gauges) == submitted is restored in one step.
+func (m *Metrics) jobRecovered(to State) {
+	m.submitted.Add(1)
+	m.gauges[to].Add(1)
+}
+
 // stateMove keeps the per-state gauges consistent across a transition. The
 // invariant sum(gauges) == submitted holds at all times; terminal states
 // accumulate, so delivered + failed + (non-terminal states) == submitted.

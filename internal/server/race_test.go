@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled relaxes wall-clock acceptance bounds: the race detector
+// slows execution severalfold, which says nothing about recovery speed.
+const raceEnabled = true

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ppj/internal/server/wal"
+	"ppj/internal/service"
+)
+
+// ErrInterrupted is the typed cause given to jobs that were Uploading or
+// Running when the host crashed: their uploads lived only in the dead
+// process's memory, so recovery fails them deterministically — tenants get
+// a definite answer instead of a silently vanished job.
+var ErrInterrupted = errors.New("server: job interrupted by host crash")
+
+// RecoveredError carries a failure cause replayed from the WAL. The
+// original typed error died with the old process; only its message is
+// durable, so recovered failures compare by string, except ErrInterrupted
+// which recovery maps back to the sentinel.
+type RecoveredError struct{ Cause string }
+
+// Error implements error.
+func (e *RecoveredError) Error() string { return e.Cause }
+
+// recoveredJob is one job's last durable state, folded from WAL records.
+type recoveredJob struct {
+	contract *service.Contract
+	state    State
+	cause    string
+}
+
+// foldRecords replays WAL records into per-contract final states,
+// preserving registration order. Transitions simply overwrite the state —
+// the log is the authority on ordering — and transitions for unregistered
+// contracts (possible only through manual log surgery) are dropped.
+func foldRecords(recs []wal.Record) ([]*recoveredJob, error) {
+	byID := make(map[string]*recoveredJob)
+	var order []*recoveredJob
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeRegistered:
+			c, err := decodeContract(rec.Contract)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := byID[c.ID]; dup {
+				return nil, fmt.Errorf("server: wal registers contract %q twice", c.ID)
+			}
+			rj := &recoveredJob{contract: c, state: StatePending}
+			byID[c.ID] = rj
+			order = append(order, rj)
+		case wal.TypeTransition:
+			rj, ok := byID[rec.ContractID]
+			if !ok {
+				continue
+			}
+			if rec.To < 0 || rec.To >= numStates {
+				return nil, fmt.Errorf("server: wal transition to unknown state %d", rec.To)
+			}
+			rj.state = State(rec.To)
+			rj.cause = rec.Cause
+		}
+	}
+	return order, nil
+}
+
+// recover rebuilds the registry and job table from replayed WAL records.
+// Jobs that were Pending resume live (no data had arrived; the parties
+// simply reconnect). Jobs that were Uploading or Running are failed with
+// ErrInterrupted — and that verdict is appended to the WAL, so a second
+// restart reaches the identical table. Terminal jobs become tombstones
+// that answer reconnecting recipients immediately.
+func (s *Server) recover(recs []wal.Record) error {
+	folded, err := foldRecords(recs)
+	if err != nil {
+		return err
+	}
+	for _, rj := range folded {
+		if err := s.recoverJob(rj); err != nil {
+			return fmt.Errorf("server: recovering contract %q: %w", rj.contract.ID, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) recoverJob(rj *recoveredJob) error {
+	svc, err := service.NewServiceWithDevice(s.device, rj.contract, s.cfg.Memory, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	providers, recipients := rj.contract.CountRoles()
+	ctx, cancel := context.WithCancel(context.Background())
+	if s.cfg.JobTimeout > 0 && !rj.state.Terminal() {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	}
+	j := &Job{
+		svc:            svc,
+		srv:            s,
+		ctx:            ctx,
+		cancel:         cancel,
+		providers:      providers,
+		wantRecipients: recipients,
+		state:          rj.state,
+		done:           make(chan struct{}),
+	}
+	if err := s.registry.add(j); err != nil {
+		cancel()
+		return err
+	}
+	s.metrics.jobRecovered(rj.state)
+	switch {
+	case rj.state == StatePending:
+		go j.watch()
+	case rj.state.Terminal():
+		j.err = recoveredCause(rj)
+		cancel()
+		close(j.done)
+	default:
+		// Uploading or Running at crash time: the uploads are gone. fail()
+		// appends the interrupted verdict to the WAL and settles metrics,
+		// making a second recovery idempotent.
+		j.fail(ErrInterrupted, false)
+	}
+	return nil
+}
+
+// recoveredCause reconstructs a terminal job's error from its recorded
+// cause. Delivered jobs have none; ErrInterrupted survives restarts as the
+// sentinel so errors.Is keeps working across any number of recoveries.
+func recoveredCause(rj *recoveredJob) error {
+	if rj.state != StateFailed {
+		return nil
+	}
+	switch rj.cause {
+	case ErrInterrupted.Error():
+		return ErrInterrupted
+	case "":
+		return &RecoveredError{Cause: "failure cause not recorded"}
+	}
+	return &RecoveredError{Cause: rj.cause}
+}

@@ -9,6 +9,11 @@ import (
 // ErrUnknownContract reports a hello that names no registered contract.
 var ErrUnknownContract = errors.New("server: unknown contract")
 
+// ErrAmbiguousContract reports an ID-less hello that cannot be routed
+// because several contracts are registered; the connection is refused with
+// this typed error rather than guessed at (or left hanging).
+var ErrAmbiguousContract = errors.New("server: ambiguous contract: hello names no contract")
+
 // Registry maps contract IDs to their jobs, so one listener can serve
 // sessions for any registered contract: the hello's ContractID routes the
 // connection (§3.3.3's "contracts are kept encrypted at the server", made
@@ -46,13 +51,33 @@ func (r *Registry) Lookup(id string) (*Job, error) {
 		if len(r.order) == 1 {
 			return r.jobs[r.order[0]], nil
 		}
-		return nil, fmt.Errorf("%w: hello names no contract and %d are registered", ErrUnknownContract, len(r.order))
+		if len(r.order) == 0 {
+			return nil, fmt.Errorf("%w: hello names no contract and none are registered", ErrUnknownContract)
+		}
+		return nil, fmt.Errorf("%w; %d are registered", ErrAmbiguousContract, len(r.order))
 	}
 	j, ok := r.jobs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownContract, id)
 	}
 	return j, nil
+}
+
+// remove drops a contract — used to unwind an admission whose registration
+// could not be made durable.
+func (r *Registry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[id]; !ok {
+		return
+	}
+	delete(r.jobs, id)
+	for i, x := range r.order {
+		if x == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Jobs returns every registered job in registration order.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ppj/internal/secop"
+	"ppj/internal/server/wal"
 	"ppj/internal/service"
 )
 
@@ -49,6 +50,19 @@ type Config struct {
 	JobTimeout time.Duration
 	// Logf, when set, receives connection-level errors from Serve.
 	Logf func(format string, args ...any)
+	// DataDir, when set, enables the write-ahead job store: contract
+	// registrations and job state transitions are fsynced to DataDir before
+	// they are acknowledged, and New replays the log to rebuild the
+	// registry and job table after a crash. Empty keeps jobs in memory.
+	DataDir string
+	// Store overrides the job store directly (tests, alternative
+	// backends). When nil, DataDir selects the WAL store and an in-memory
+	// no-op store otherwise. A custom Store is not replayed.
+	Store Store
+	// Faults injects named fault hooks into the WAL store (tests only):
+	// short writes, fsync failures, torn records, and crash points between
+	// state transitions. Nil — the production setting — is inert.
+	Faults *wal.Faults
 }
 
 // Server owns the device, the contract registry, the worker pool, and the
@@ -58,6 +72,7 @@ type Server struct {
 	device   *secop.Device
 	registry *Registry
 	metrics  *Metrics
+	store    Store
 	queue    chan *Job
 
 	mu           sync.Mutex
@@ -68,7 +83,11 @@ type Server struct {
 }
 
 // New boots a device, loads the service's software stack onto it, and
-// prepares (but does not start) the worker pool.
+// prepares (but does not start) the worker pool. With Config.DataDir set,
+// it replays the write-ahead log first: registered contracts reappear in
+// the registry, Pending jobs resume live, jobs that were Uploading or
+// Running when the old process died are failed with ErrInterrupted, and
+// terminal jobs become tombstones that answer reconnecting recipients.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -80,13 +99,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		device:   dev,
 		registry: newRegistry(),
 		metrics:  newMetrics(),
+		store:    NopStore{},
 		queue:    make(chan *Job, cfg.QueueDepth),
-	}, nil
+	}
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.DataDir != "":
+		st, recs, err := OpenWALStore(cfg.DataDir, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.recover(recs); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Device returns the server's attested device; clients pin its key.
@@ -148,6 +183,13 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	if err := s.registry.add(j); err != nil {
 		cancel()
 		return nil, err
+	}
+	// Durability gate: a job whose admission never reached the WAL would be
+	// silently lost by a crash, so the tenant is told now instead.
+	if err := s.store.LogRegistered(c); err != nil {
+		s.registry.remove(c.ID)
+		cancel()
+		return nil, fmt.Errorf("server: logging registration of %q: %w", c.ID, err)
 	}
 	s.metrics.jobSubmitted()
 	go j.watch()
@@ -303,7 +345,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.store.Close()
 	case <-ctx.Done():
 		return ctx.Err()
 	}

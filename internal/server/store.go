@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"ppj/internal/server/wal"
+	"ppj/internal/service"
+)
+
+// Store abstracts job durability: the server tells it about contract
+// registrations and every job state transition. The in-memory NopStore
+// preserves the pre-WAL behavior (nothing survives the process); WALStore
+// makes both durable so a restarted server can rebuild its registry and
+// job table.
+type Store interface {
+	// LogRegistered records a contract admitted to the registry. An error
+	// fails the registration: a job whose admission is not durable would be
+	// silently lost by a crash.
+	LogRegistered(c *service.Contract) error
+	// LogTransition records a job state transition; cause carries the
+	// failure reason for transitions into StateFailed.
+	LogTransition(contractID string, from, to State, cause string) error
+	// Close releases the store.
+	Close() error
+}
+
+// NopStore is the in-memory default: nothing is persisted and every job
+// dies with the process.
+type NopStore struct{}
+
+// LogRegistered implements Store.
+func (NopStore) LogRegistered(*service.Contract) error { return nil }
+
+// LogTransition implements Store.
+func (NopStore) LogTransition(string, State, State, string) error { return nil }
+
+// Close implements Store.
+func (NopStore) Close() error { return nil }
+
+// SiteRegister is the faultpoint fired before a registration record is
+// appended to the WAL.
+const SiteRegister = "register"
+
+// TransitionSite names the faultpoint fired before a from→to transition
+// record is appended, e.g. "state:uploading->running". A hook returning
+// wal.ErrCrashed at such a site freezes the on-disk log between two
+// adjacent job states — the crash-between-transition schedules of the
+// recovery suite.
+func TransitionSite(from, to State) string {
+	return "state:" + from.String() + "->" + to.String()
+}
+
+// WALStore persists registrations and transitions to an append-only,
+// checksummed write-ahead log.
+type WALStore struct {
+	log    *wal.Log
+	faults *wal.Faults
+}
+
+// OpenWALStore recovers dir's log — truncating any torn tail — and opens
+// it for appending, returning the store and the replayed records in write
+// order. faults may be nil (production).
+func OpenWALStore(dir string, faults *wal.Faults) (*WALStore, []wal.Record, error) {
+	recs, err := wal.Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := wal.Open(dir, faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WALStore{log: log, faults: faults}, recs, nil
+}
+
+// LogRegistered implements Store.
+func (s *WALStore) LogRegistered(c *service.Contract) error {
+	if err := s.fire(SiteRegister); err != nil {
+		return err
+	}
+	raw, err := encodeContract(c)
+	if err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeRegistered, Contract: raw})
+}
+
+// LogTransition implements Store.
+func (s *WALStore) LogTransition(id string, from, to State, cause string) error {
+	if err := s.fire(TransitionSite(from, to)); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{
+		Type:       wal.TypeTransition,
+		ContractID: id,
+		From:       int32(from),
+		To:         int32(to),
+		Cause:      cause,
+	})
+}
+
+// Close implements Store.
+func (s *WALStore) Close() error { return s.log.Close() }
+
+// fire runs a server-level faultpoint; a wal.ErrCrashed injection seals
+// the log so nothing after the simulated crash instant reaches disk.
+func (s *WALStore) fire(site string) error {
+	err := s.faults.Fire(site)
+	if err != nil && errors.Is(err, wal.ErrCrashed) {
+		s.log.Crash()
+	}
+	return err
+}
+
+// encodeContract serialises a contract for a registration record. Gob
+// round-trips every exported field, signatures included, so recovery can
+// re-verify the contract exactly as Register did.
+func encodeContract(c *service.Contract) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("server: encoding contract %q: %w", c.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeContract is encodeContract's inverse.
+func decodeContract(raw []byte) (*service.Contract, error) {
+	var c service.Contract
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("server: decoding contract record: %w", err)
+	}
+	return &c, nil
+}

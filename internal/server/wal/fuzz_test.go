@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode fuzzes the record decoder with arbitrary bytes. The
+// invariants: Replay never panics, decodes some prefix of the input,
+// stops at the first invalid byte (torn/corrupt tails truncate rather
+// than failing), and — because the encoding is canonical — re-encoding
+// the decoded records reproduces exactly the bytes it consumed.
+func FuzzWALDecode(f *testing.F) {
+	for _, r := range sampleRecordsFuzzSeed() {
+		frame, err := r.encodeFrame()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	var stream []byte
+	for _, r := range sampleRecordsFuzzSeed() {
+		frame, _ := r.encodeFrame()
+		stream = append(stream, frame...)
+	}
+	f.Add(stream)                                 // several valid records
+	f.Add(stream[:len(stream)-3])                 // torn tail
+	f.Add(append(stream, 0xde, 0xad, 0xbe, 0xef)) // garbage tail
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // huge claimed length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, off := Replay(bytes.NewReader(data))
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("offset %d out of range [0, %d]", off, len(data))
+		}
+		var reenc []byte
+		for i, r := range recs {
+			frame, err := r.encodeFrame()
+			if err != nil {
+				t.Fatalf("decoded record %d does not re-encode: %+v: %v", i, r, err)
+			}
+			reenc = append(reenc, frame...)
+		}
+		if !bytes.Equal(reenc, data[:off]) {
+			t.Fatalf("re-encoding %d records gave %d bytes, want the %d consumed bytes to match", len(recs), len(reenc), off)
+		}
+		// The remainder must be a tail Replay rejects from its first byte:
+		// replaying it again consumes nothing... unless it is itself a
+		// valid stream that was misaligned, which canonical framing rules
+		// out only for the first record. Cheap sanity: replay of the
+		// truncated prefix reproduces the same records.
+		again, off2 := Replay(bytes.NewReader(data[:off]))
+		if off2 != off || len(again) != len(recs) {
+			t.Fatalf("replay of valid prefix: %d records / %d bytes, want %d / %d", len(again), off2, len(recs), off)
+		}
+	})
+}
+
+func sampleRecordsFuzzSeed() []Record {
+	return []Record{
+		{Type: TypeRegistered, Contract: []byte("gob-bytes-of-a-contract")},
+		{Type: TypeTransition, ContractID: "tenant-1", From: 0, To: 1},
+		{Type: TypeTransition, ContractID: "tenant-1", From: 2, To: 4, Cause: "server: job interrupted by host crash"},
+	}
+}

@@ -1,0 +1,197 @@
+// Package wal is the job server's write-ahead log: an append-only,
+// checksummed, length-prefixed record stream of contract registrations and
+// job state transitions. The untrusted host H of the PPJ model can crash or
+// misbehave at any instant; the WAL is what lets a restarted server give
+// every tenant a deterministic answer about every job it ever admitted —
+// the serving-layer analogue of the paper's "T is the only trusted party"
+// stance, where H's only obligations are storage and liveness.
+//
+// On-disk format, one record per event:
+//
+//	record  := length(u32 BE) || crc32(u32 BE) || payload
+//	payload := type(u8) || body
+//
+// The CRC (IEEE) covers the payload. Replay accepts any prefix of valid
+// records: the first torn, truncated, or corrupt record ends the replay and
+// everything from it on is discarded as a torn tail (the crash happened
+// mid-write), never surfaced as a recovery error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Type discriminates WAL records.
+type Type uint8
+
+const (
+	// TypeRegistered records a contract admitted to the registry; the body
+	// is the serialised contract.
+	TypeRegistered Type = 1
+	// TypeTransition records one job state transition.
+	TypeTransition Type = 2
+)
+
+// MaxPayload bounds a record payload. Contracts are a few KB; anything
+// larger in a length prefix is corruption, not data.
+const MaxPayload = 1 << 20
+
+// headerSize is the frame prefix: u32 length + u32 crc.
+const headerSize = 8
+
+// Record is one durable event. Exactly one of the two shapes is populated,
+// selected by Type: a registration carries Contract; a transition carries
+// ContractID, From, To and (for failures) Cause.
+type Record struct {
+	Type Type
+	// Contract is the serialised contract (TypeRegistered only). The codec
+	// is the caller's — the WAL stores opaque bytes so it depends on no
+	// higher layer.
+	Contract []byte
+	// ContractID names the job (TypeTransition only).
+	ContractID string
+	// From, To are the lifecycle states of a transition, as the server's
+	// State values. They must fit a byte.
+	From, To int32
+	// Cause is the failure cause recorded on transitions into the failed
+	// state, empty otherwise.
+	Cause string
+}
+
+var errEncode = errors.New("wal: cannot encode record")
+
+// encodePayload renders the type byte and body. Encoding is canonical:
+// decodePayload(encodePayload(r)) == r and re-encoding reproduces the
+// identical bytes, which the fuzz harness relies on.
+func (r Record) encodePayload() ([]byte, error) {
+	switch r.Type {
+	case TypeRegistered:
+		if len(r.Contract) == 0 {
+			return nil, fmt.Errorf("%w: registration without contract bytes", errEncode)
+		}
+		p := make([]byte, 1+len(r.Contract))
+		p[0] = byte(TypeRegistered)
+		copy(p[1:], r.Contract)
+		return p, nil
+	case TypeTransition:
+		if len(r.ContractID) > 0xffff || len(r.Cause) > 0xffff {
+			return nil, fmt.Errorf("%w: oversized transition fields", errEncode)
+		}
+		if r.From < 0 || r.From > 0xff || r.To < 0 || r.To > 0xff {
+			return nil, fmt.Errorf("%w: state out of byte range", errEncode)
+		}
+		p := make([]byte, 0, 1+2+len(r.ContractID)+2+2+len(r.Cause))
+		p = append(p, byte(TypeTransition))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
+		p = append(p, r.ContractID...)
+		p = append(p, byte(r.From), byte(r.To))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.Cause)))
+		p = append(p, r.Cause...)
+		return p, nil
+	}
+	return nil, fmt.Errorf("%w: unknown type %d", errEncode, r.Type)
+}
+
+// encodeFrame renders the full framed record: header + payload.
+func (r Record) encodeFrame() ([]byte, error) {
+	payload, err := r.encodePayload()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes exceeds cap", errEncode, len(payload))
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+var errDecode = errors.New("wal: invalid record")
+
+// decodePayload parses one checksummed payload. It rejects trailing bytes
+// so every valid payload has exactly one encoding.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 1 {
+		return Record{}, fmt.Errorf("%w: empty payload", errDecode)
+	}
+	switch Type(p[0]) {
+	case TypeRegistered:
+		if len(p) == 1 {
+			return Record{}, fmt.Errorf("%w: registration without contract bytes", errDecode)
+		}
+		return Record{Type: TypeRegistered, Contract: append([]byte(nil), p[1:]...)}, nil
+	case TypeTransition:
+		body := p[1:]
+		if len(body) < 2 {
+			return Record{}, fmt.Errorf("%w: short transition", errDecode)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) < idLen+2+2 {
+			return Record{}, fmt.Errorf("%w: short transition", errDecode)
+		}
+		id := string(body[:idLen])
+		from, to := int32(body[idLen]), int32(body[idLen+1])
+		body = body[idLen+2:]
+		causeLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) != causeLen {
+			return Record{}, fmt.Errorf("%w: transition length mismatch", errDecode)
+		}
+		return Record{Type: TypeTransition, ContractID: id, From: from, To: to, Cause: string(body)}, nil
+	}
+	return Record{}, fmt.Errorf("%w: unknown type %d", errDecode, p[0])
+}
+
+// readFrame reads one framed record. Any malformation — short header, a
+// length beyond MaxPayload, a truncated payload, a CRC mismatch, an
+// undecodable payload — is reported as an error; Replay turns that into
+// torn-tail truncation.
+func readFrame(r io.Reader) (Record, int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > MaxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", errDecode, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", errDecode)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, int64(headerSize + int(n)), nil
+}
+
+// Replay decodes records from r until EOF or the first invalid byte. It
+// never fails: a torn or corrupt record ends the replay and the returned
+// offset marks the end of the last valid record, so callers can truncate
+// the tail. Arbitrary input therefore yields some (possibly empty) prefix
+// of records — the property FuzzWALDecode pins.
+func Replay(r io.Reader) ([]Record, int64) {
+	var (
+		recs []Record
+		off  int64
+	)
+	for {
+		rec, n, err := readFrame(r)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}

@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: TypeRegistered, Contract: []byte("contract-bytes-for-alpha")},
+		{Type: TypeTransition, ContractID: "alpha", From: 0, To: 1},
+		{Type: TypeTransition, ContractID: "alpha", From: 1, To: 4, Cause: "context canceled"},
+		{Type: TypeRegistered, Contract: bytes.Repeat([]byte{0xab}, 300)},
+		{Type: TypeTransition, ContractID: "", From: 0, To: 0, Cause: ""},
+	}
+}
+
+func appendAll(t *testing.T, dir string, recs []Record) {
+	t.Helper()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	return a.Type == b.Type && bytes.Equal(a.Contract, b.Contract) &&
+		a.ContractID == b.ContractID && a.From == b.From && a.To == b.To && a.Cause == b.Cause
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	appendAll(t, dir, want)
+	got, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecoverMissingDir(t *testing.T) {
+	recs, err := Recover(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || recs != nil {
+		t.Fatalf("Recover on missing dir = %v, %v", recs, err)
+	}
+}
+
+// TestRecoverTruncatesTornTail appends garbage and partial frames after
+// valid records and checks recovery keeps the valid prefix, truncates the
+// file, and appends cleanly afterwards.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	full := sampleRecords()
+	frames := make([][]byte, len(full))
+	for i, r := range full {
+		f, err := r.encodeFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	tails := map[string][]byte{
+		"half-frame":    frames[2][:len(frames[2])/2],
+		"header-only":   frames[2][:5],
+		"flipped-crc":   append(append([]byte{}, frames[2][:6]...), frames[2][6]^0xff, frames[2][7]),
+		"garbage":       {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01},
+		"huge-length":   {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3},
+		"corrupt-runon": append(append([]byte{}, frames[2]...), frames[3]...),
+	}
+	// corrupt-runon: flip a payload byte of the first tail frame so it and
+	// everything after is discarded even though a "valid" frame follows.
+	tails["corrupt-runon"][headerSize] ^= 0xff
+
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			appendAll(t, dir, full[:2])
+			path := filepath.Join(dir, FileName)
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			got, err := Recover(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || !recordsEqual(got[0], full[0]) || !recordsEqual(got[1], full[1]) {
+				t.Fatalf("recovered %+v, want first two sample records", got)
+			}
+			wantSize := int64(len(frames[0]) + len(frames[1]))
+			if fi, err := os.Stat(path); err != nil || fi.Size() != wantSize {
+				t.Fatalf("post-recovery size = %v (%v), want %d", fi.Size(), err, wantSize)
+			}
+			// The truncated log accepts new records where the tail was.
+			appendAll(t, dir, full[2:3])
+			got, err = Recover(dir)
+			if err != nil || len(got) != 3 || !recordsEqual(got[2], full[2]) {
+				t.Fatalf("append after truncation: %+v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestAppendFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	faults := NewFaults()
+	faults.Set(SiteAppend, FailNth(2, ErrShortWrite))
+	l, err := Open(dir, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[1]); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("injected append error = %v, want ErrShortWrite", err)
+	}
+	// The log is sealed: later appends are refused without touching disk.
+	if err := l.Append(recs[2]); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-fault append error = %v, want ErrCrashed", err)
+	}
+	l.Close()
+
+	got, err := Recover(dir)
+	if err != nil || len(got) != 1 || !recordsEqual(got[0], recs[0]) {
+		t.Fatalf("recovery after short write = %+v, %v; want only the first record", got, err)
+	}
+}
+
+func TestAppendFaultSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	faults := NewFaults()
+	injected := errors.New("fsync: input/output error")
+	faults.Set(SiteSync, FailNth(2, injected))
+	l, err := Open(dir, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[1]); !errors.Is(err, injected) {
+		t.Fatalf("injected sync error = %v", err)
+	}
+	if err := l.Append(recs[2]); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-fault append error = %v, want ErrCrashed", err)
+	}
+	l.Close()
+	// The frame was fully written before the failed sync; recovery may
+	// legitimately observe it.
+	got, err := Recover(dir)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("recovery after sync failure = %d records (%v), want 2", len(got), err)
+	}
+}
+
+func TestCrashSealsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+	if err := l.Append(recs[1]); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append after Crash = %v, want ErrCrashed", err)
+	}
+	got, err := Recover(dir)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("recovery after Crash = %d records (%v), want 1", len(got), err)
+	}
+}
+
+func TestEncodeRejectsMalformedRecords(t *testing.T) {
+	bad := []Record{
+		{Type: TypeRegistered},           // no contract bytes
+		{Type: Type(9)},                  // unknown type
+		{Type: TypeTransition, From: -1}, // state out of range
+		{Type: TypeTransition, To: 300},  // state out of range
+		{Type: TypeRegistered, Contract: make([]byte, MaxPayload+1)}, // over cap
+	}
+	for i, r := range bad {
+		if _, err := r.encodeFrame(); err == nil {
+			t.Fatalf("record %d encoded despite being malformed", i)
+		}
+	}
+}
+
+func TestFaultsRegistry(t *testing.T) {
+	var nilFaults *Faults
+	if err := nilFaults.Fire("anything"); err != nil {
+		t.Fatalf("nil Faults fired %v", err)
+	}
+	f := NewFaults()
+	if err := f.Fire("unset"); err != nil {
+		t.Fatalf("unset site fired %v", err)
+	}
+	boom := errors.New("boom")
+	f.Set("site", Always(boom))
+	if err := f.Fire("site"); !errors.Is(err, boom) {
+		t.Fatalf("Always hook fired %v", err)
+	}
+	f.Set("site", nil)
+	if err := f.Fire("site"); err != nil {
+		t.Fatalf("cleared site fired %v", err)
+	}
+	nth := FailNth(3, boom)
+	f.Set("site", nth)
+	for i := 1; i <= 4; i++ {
+		err := f.Fire("site")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("FailNth call %d fired %v", i, err)
+		}
+	}
+}
