@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ppj/internal/server/wal"
 	"ppj/internal/service"
 )
 
@@ -116,5 +117,52 @@ func TestDuplicateUploadKeepsMetricsConsistent(t *testing.T) {
 	snap = srv.MetricsSnapshot()
 	if snap.Jobs["delivered"] != 1 || snap.Jobs["uploading"] != 0 {
 		t.Fatalf("final gauges inconsistent: %+v", snap.Jobs)
+	}
+}
+
+// TestLateRecipientAfterDelivery: result rows are dropped once delivered,
+// so a recipient that connects (or reconnects) after delivery must get the
+// typed ErrResultUnavailable refusal — previously this path handed Deliver
+// an outcome with neither Err nor Schema and panicked in the wire encoder.
+func TestLateRecipientAfterDelivery(t *testing.T) {
+	srv, err := New(Config{Workers: 1, Memory: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	g := newGroup(t, "late-recip", "alg5", 131, 132, 5, 5)
+	j, err := srv.Register(g.contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveToDelivered(t, srv, g, j)
+	if o := <-g.pipeRecipient(t, srv); o.err == nil || !strings.Contains(o.err.Error(), "no longer available") {
+		t.Fatalf("late recipient outcome = %+v, want ErrResultUnavailable", o)
+	}
+}
+
+// TestWALFailureCounterTracksLostTransitions: once an injected fsync
+// failure seals the log, every later transition keeps running in memory
+// but fails its append — and each one must be visible on the metrics
+// surface, not just in per-transition log lines. Appends: 1=registration,
+// 2=pending->uploading (fsync fails, seals the log), then
+// uploading->running and running->delivered fail against the sealed log.
+func TestWALFailureCounterTracksLostTransitions(t *testing.T) {
+	dir := t.TempDir()
+	faults := wal.NewFaults()
+	faults.Set(wal.SiteSync, wal.FailNth(2, errors.New("fsync: injected I/O error")))
+	srv, err := New(Config{Workers: 1, Memory: 16, DataDir: dir, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	g := newGroup(t, "wal-alarm", "alg5", 133, 134, 5, 5)
+	j, err := srv.Register(g.contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveToDelivered(t, srv, g, j)
+	if got := srv.MetricsSnapshot().WALAppendFailures; got != 3 {
+		t.Fatalf("wal_append_failures = %d, want 3 (every transition after the seal)", got)
 	}
 }

@@ -2,11 +2,20 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"ppj/internal/service"
 )
+
+// ErrResultUnavailable answers a recipient connecting to a job whose
+// result was already delivered. Result rows are retained neither in memory
+// after delivery nor in the WAL (only the Delivered verdict is durable),
+// so a late or reconnecting recipient — including one reconnecting to a
+// Delivered tombstone after a host restart — gets this definite typed
+// refusal instead of a replayed result.
+var ErrResultUnavailable = errors.New("server: result already delivered; no longer available")
 
 // State is a job's position in its lifecycle. States only move forward:
 //
@@ -125,6 +134,10 @@ func (j *Job) setStateLocked(to State) {
 		cause = j.err.Error()
 	}
 	if err := j.srv.store.LogTransition(j.svc.Contract.ID, from, to, cause); err != nil {
+		// The in-memory lifecycle keeps going, but every transition lost
+		// here widens the gap a crash would expose — count it so operators
+		// see the durability alarm, not just per-transition log lines.
+		j.srv.metrics.walAppendFailed()
 		j.srv.logf("server: wal: contract %s %s->%s: %v", j.svc.Contract.ID, from, to, err)
 	}
 }
@@ -169,6 +182,13 @@ func (j *Job) addRecipient(name string, sess *service.Session) error {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		out := service.Outcome{Err: j.err, Algorithm: j.svc.Contract.Algorithm}
+		if j.state == StateDelivered {
+			// A Delivered job holds no result rows (they are dropped after
+			// delivery and never persisted), so delivering j.err == nil here
+			// would hand Deliver an outcome with no Schema and panic. The
+			// recipient gets a typed refusal instead.
+			out.Err = ErrResultUnavailable
+		}
 		j.mu.Unlock()
 		return j.svc.Deliver(sess, out)
 	}

@@ -16,10 +16,11 @@ import (
 // everything as one JSON-serialisable value through the admin method
 // Server.MetricsSnapshot.
 type Metrics struct {
-	submitted  atomic.Uint64
-	gauges     [numStates]atomic.Int64
-	queueDepth atomic.Int64
-	cop        sim.AtomicStats
+	submitted   atomic.Uint64
+	gauges      [numStates]atomic.Int64
+	queueDepth  atomic.Int64
+	walFailures atomic.Uint64
+	cop         sim.AtomicStats
 
 	mu   sync.Mutex
 	algs map[string]*algStats
@@ -62,6 +63,12 @@ func (m *Metrics) stateMove(from, to State) {
 
 // queueAdd adjusts the ready-queue depth gauge.
 func (m *Metrics) queueAdd(delta int64) { m.queueDepth.Add(delta) }
+
+// walAppendFailed counts a job state transition that could not be made
+// durable (the WAL append failed, after which the log stays sealed). The
+// in-memory lifecycle continues, so a non-zero count means the job table
+// has drifted from what a crash would recover — a health alarm, not noise.
+func (m *Metrics) walAppendFailed() { m.walFailures.Add(1) }
 
 // recordRun records a worker-executed job: completion count and, for
 // successful runs, the execution latency summary.
@@ -114,6 +121,9 @@ type Snapshot struct {
 	Jobs map[string]int64 `json:"jobs"`
 	// QueueDepth is the number of ready jobs waiting for a worker.
 	QueueDepth int64 `json:"queue_depth"`
+	// WALAppendFailures counts state transitions the WAL could not record;
+	// non-zero means recovery after a crash would lag the live job table.
+	WALAppendFailures uint64 `json:"wal_append_failures"`
 	// Algorithms maps the executed algorithm ("alg1".."alg6", "aggregate";
 	// for auto contracts, the planner's choice) to its completion summary.
 	Algorithms map[string]AlgSnapshot `json:"algorithms"`
@@ -126,11 +136,12 @@ type Snapshot struct {
 // Snapshot captures the current metrics.
 func (m *Metrics) Snapshot() Snapshot {
 	snap := Snapshot{
-		Submitted:   m.submitted.Load(),
-		Jobs:        make(map[string]int64, numStates),
-		QueueDepth:  m.queueDepth.Load(),
-		Algorithms:  make(map[string]AlgSnapshot),
-		Coprocessor: m.cop.Snapshot(),
+		Submitted:         m.submitted.Load(),
+		Jobs:              make(map[string]int64, numStates),
+		QueueDepth:        m.queueDepth.Load(),
+		WALAppendFailures: m.walFailures.Load(),
+		Algorithms:        make(map[string]AlgSnapshot),
+		Coprocessor:       m.cop.Snapshot(),
 	}
 	for s := StatePending; s <= StateFailed; s++ {
 		snap.Jobs[s.String()] = m.gauges[s].Load()

@@ -102,6 +102,7 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
     "uploading": 0
   },
   "queue_depth": 0,
+  "wal_append_failures": 0,
   "algorithms": {},
   "coprocessor": {
     "Gets": 0,
@@ -124,6 +125,12 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
 	// The recovered-failed job answers a reconnecting recipient at once.
 	if o := <-gB.pipeRecipient(t, srv2); o.err == nil || !strings.Contains(o.err.Error(), "canceled") {
 		t.Fatalf("recovered-failed recipient outcome = %+v, want replayed cancellation", o)
+	}
+	// So does the recovered-Delivered tombstone: its rows were never
+	// persisted, so the recipient gets the typed refusal — not a hang, and
+	// not the nil-schema delivery panic this path once had.
+	if o := <-gA.pipeRecipient(t, srv2); o.err == nil || !strings.Contains(o.err.Error(), "no longer available") {
+		t.Fatalf("recovered-delivered recipient outcome = %+v, want ErrResultUnavailable", o)
 	}
 
 	// The Pending job resumed live: drive it to Delivered on the new

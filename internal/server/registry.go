@@ -63,21 +63,14 @@ func (r *Registry) Lookup(id string) (*Job, error) {
 	return j, nil
 }
 
-// remove drops a contract — used to unwind an admission whose registration
-// could not be made durable.
-func (r *Registry) remove(id string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.jobs[id]; !ok {
-		return
-	}
-	delete(r.jobs, id)
-	for i, x := range r.order {
-		if x == id {
-			r.order = append(r.order[:i], r.order[i+1:]...)
-			break
-		}
-	}
+// has reports whether id is registered. Register's admission section uses
+// it for the duplicate check that must precede the WAL append (a refused
+// duplicate must leave no record behind).
+func (r *Registry) has(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.jobs[id]
+	return ok
 }
 
 // Jobs returns every registered job in registration order.

@@ -75,6 +75,12 @@ type Server struct {
 	store    Store
 	queue    chan *Job
 
+	// regMu serialises admissions: the duplicate check, the WAL append,
+	// and publication in the registry form one critical section, so a job
+	// is never visible to connections before its registration is durable
+	// and two racing Registers can never both append a record for one ID.
+	regMu sync.Mutex
+
 	mu           sync.Mutex
 	started      bool
 	shuttingDown bool
@@ -180,16 +186,26 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 		state:          StatePending,
 		done:           make(chan struct{}),
 	}
+	// Durability gate: a job whose admission never reached the WAL would be
+	// silently lost by a crash, so the tenant is told now instead. The
+	// record is appended BEFORE the job is published in the registry —
+	// otherwise a concurrent HandleConn could look the job up and start a
+	// handshake against an admission that is then unwound when the append
+	// fails, leaving a session running against a contract the tenant was
+	// told was refused.
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.registry.has(c.ID) {
+		cancel()
+		return nil, fmt.Errorf("server: contract %q already registered", c.ID)
+	}
+	if err := s.store.LogRegistered(c); err != nil {
+		cancel()
+		return nil, fmt.Errorf("server: logging registration of %q: %w", c.ID, err)
+	}
 	if err := s.registry.add(j); err != nil {
 		cancel()
 		return nil, err
-	}
-	// Durability gate: a job whose admission never reached the WAL would be
-	// silently lost by a crash, so the tenant is told now instead.
-	if err := s.store.LogRegistered(c); err != nil {
-		s.registry.remove(c.ID)
-		cancel()
-		return nil, fmt.Errorf("server: logging registration of %q: %w", c.ID, err)
 	}
 	s.metrics.jobSubmitted()
 	go j.watch()
@@ -347,6 +363,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return s.store.Close()
 	case <-ctx.Done():
+		// The WAL descriptor (and its data-dir lock) must not leak when the
+		// drain deadline expires: close it now. A worker still finishing a
+		// job appends to a closed log, which fails and is counted like any
+		// other lost transition — the recovery path owns that gap.
+		if cerr := s.store.Close(); cerr != nil {
+			s.logf("server: closing store after drain timeout: %v", cerr)
+		}
 		return ctx.Err()
 	}
 }

@@ -54,25 +54,36 @@ func TransitionSite(from, to State) string {
 }
 
 // WALStore persists registrations and transitions to an append-only,
-// checksummed write-ahead log.
+// checksummed write-ahead log. It holds the data dir's advisory lock for
+// its whole lifetime: one store (one server process) per directory.
 type WALStore struct {
 	log    *wal.Log
 	faults *wal.Faults
+	lock   *wal.DirLock
 }
 
-// OpenWALStore recovers dir's log — truncating any torn tail — and opens
-// it for appending, returning the store and the replayed records in write
-// order. faults may be nil (production).
+// OpenWALStore locks dir against other processes, recovers its log —
+// truncating any torn tail — and opens it for appending, returning the
+// store and the replayed records in write order. faults may be nil
+// (production). A dir already locked by another server process is refused
+// before recovery runs, so two processes can never truncate or interleave
+// each other's live log.
 func OpenWALStore(dir string, faults *wal.Faults) (*WALStore, []wal.Record, error) {
+	lock, err := wal.LockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	recs, err := wal.Recover(dir)
 	if err != nil {
+		lock.Release()
 		return nil, nil, err
 	}
 	log, err := wal.Open(dir, faults)
 	if err != nil {
+		lock.Release()
 		return nil, nil, err
 	}
-	return &WALStore{log: log, faults: faults}, recs, nil
+	return &WALStore{log: log, faults: faults, lock: lock}, recs, nil
 }
 
 // LogRegistered implements Store.
@@ -101,8 +112,14 @@ func (s *WALStore) LogTransition(id string, from, to State, cause string) error 
 	})
 }
 
-// Close implements Store.
-func (s *WALStore) Close() error { return s.log.Close() }
+// Close implements Store, releasing the data-dir lock after the log.
+func (s *WALStore) Close() error {
+	err := s.log.Close()
+	if lerr := s.lock.Release(); err == nil {
+		err = lerr
+	}
+	return err
+}
 
 // fire runs a server-level faultpoint; a wal.ErrCrashed injection seals
 // the log so nothing after the simulated crash instant reaches disk.

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix builds have no fcntl record locks; the WAL still works, but the
+// one-process-per-data-dir guard is not enforced.
+func lockFile(*os.File) error { return nil }
+
+func unlockFile(*os.File) {}

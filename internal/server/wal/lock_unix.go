@@ -1,0 +1,23 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive POSIX record lock over the whole file
+// (start 0, len 0). fcntl locks — unlike flock — conflict only across
+// processes: a second acquisition within the owning process succeeds,
+// while another process gets EAGAIN/EACCES immediately (F_SETLK, not
+// F_SETLKW, so nobody blocks waiting for a live server to exit).
+func lockFile(f *os.File) error {
+	lk := syscall.Flock_t{Type: syscall.F_WRLCK}
+	return syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, &lk)
+}
+
+func unlockFile(f *os.File) {
+	lk := syscall.Flock_t{Type: syscall.F_UNLCK}
+	_ = syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, &lk)
+}
