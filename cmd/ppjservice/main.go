@@ -54,6 +54,7 @@ func main() {
 		queue   = flag.Int("queue", 8, "ready-job queue depth")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-job deadline")
 		dataDir = flag.String("data-dir", "", "write-ahead job store directory; empty keeps jobs in memory")
+		devices = flag.Int("devices-per-job", 1, "coprocessors attached per job; >1 enables intra-job parallel joins")
 	)
 	flag.Parse()
 
@@ -66,12 +67,13 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Memory:     64,
-		JobTimeout: *timeout,
-		Logf:       log.Printf,
-		DataDir:    *dataDir,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Memory:        64,
+		DevicesPerJob: *devices,
+		JobTimeout:    *timeout,
+		Logf:          log.Printf,
+		DataDir:       *dataDir,
 	})
 	check(err)
 	fmt.Printf("join server up: worker pool P=%d, queue depth %d, device key %x...\n",

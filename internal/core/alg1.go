@@ -39,45 +39,46 @@ func Join1(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64)
 	out := host.FreshRegion("alg1.out", int(n*a.N))
 	payloadSize := outSchema.TupleSize()
 
+	// One decoy plaintext serves every decoy put; each batched put seals it
+	// freshly, so the host still sees independent ciphertexts.
+	decoy := wrapDecoy(payloadSize)
+	decoyFill := make([][]byte, 2*n)
+	for j := range decoyFill {
+		decoyFill[j] = decoy
+	}
+
 	for ai := int64(0); ai < a.N; ai++ {
 		// put 2N encrypted decoy tuples to scratch[].
-		for j := int64(0); j < 2*n; j++ {
-			if err := t.Put(scratch, j, wrapDecoy(payloadSize)); err != nil {
-				return Result{}, err
-			}
+		if err := t.PutRange(scratch, 0, decoyFill); err != nil {
+			return Result{}, err
 		}
 		aT, err := t.GetTuple(a, ai)
 		if err != nil {
 			return Result{}, err
 		}
-		i := int64(0)
-		for bi := int64(0); bi < b.N; bi++ {
-			bT, err := t.GetTuple(b, bi)
+		// Stream B in rounds of up to N tuples: one batched read-modify-write
+		// into scratch[N..2N), then the oblivious sort — the same get/put
+		// interleaving and sort schedule as the per-cell loop.
+		for bi0 := int64(0); bi0 < b.N; bi0 += n {
+			cnt := min64(n, b.N-bi0)
+			err := t.TransformRange(scratch, n, b.Region, bi0, cnt, func(k int64, pt []byte) ([]byte, error) {
+				bT, err := b.Schema.Decode(pt)
+				if err != nil {
+					return nil, fmt.Errorf("core: decoding B[%d]: %w", bi0+k, err)
+				}
+				t.ChargePredicate()
+				if pred.Match(aT, bT) {
+					payload, err := joinPayload(outSchema, aT, bT)
+					if err != nil {
+						return nil, err
+					}
+					return wrapReal(payload), nil
+				}
+				return decoy, nil
+			})
 			if err != nil {
 				return Result{}, err
 			}
-			t.ChargePredicate()
-			var cell []byte
-			if pred.Match(aT, bT) {
-				payload, err := joinPayload(outSchema, aT, bT)
-				if err != nil {
-					return Result{}, err
-				}
-				cell = wrapReal(payload)
-			} else {
-				cell = wrapDecoy(payloadSize)
-			}
-			if err := t.Put(scratch, (i%n)+n, cell); err != nil {
-				return Result{}, err
-			}
-			i++
-			if i%n == 0 {
-				if err := oblivious.Sort(t, scratch, 2*n, oTupleFirst); err != nil {
-					return Result{}, err
-				}
-			}
-		}
-		if i%n != 0 {
 			if err := oblivious.Sort(t, scratch, 2*n, oTupleFirst); err != nil {
 				return Result{}, err
 			}
@@ -129,30 +130,29 @@ func Join1Variant(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n
 	out := host.FreshRegion("alg1v.out", int(n*a.N))
 	payloadSize := outSchema.TupleSize()
 
+	decoy := wrapDecoy(payloadSize)
 	for ai := int64(0); ai < a.N; ai++ {
 		aT, err := t.GetTuple(a, ai)
 		if err != nil {
 			return Result{}, err
 		}
-		for bi := int64(0); bi < b.N; bi++ {
-			bT, err := t.GetTuple(b, bi)
+		err = t.TransformRange(scratch, 0, b.Region, 0, b.N, func(bi int64, pt []byte) ([]byte, error) {
+			bT, err := b.Schema.Decode(pt)
 			if err != nil {
-				return Result{}, err
+				return nil, fmt.Errorf("core: decoding B[%d]: %w", bi, err)
 			}
 			t.ChargePredicate()
-			var cell []byte
 			if pred.Match(aT, bT) {
 				payload, err := joinPayload(outSchema, aT, bT)
 				if err != nil {
-					return Result{}, err
+					return nil, err
 				}
-				cell = wrapReal(payload)
-			} else {
-				cell = wrapDecoy(payloadSize)
+				return wrapReal(payload), nil
 			}
-			if err := t.Put(scratch, bi, cell); err != nil {
-				return Result{}, err
-			}
+			return decoy, nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
 		if err := oblivious.Sort(t, scratch, b.N, oTupleFirst); err != nil {
 			return Result{}, err

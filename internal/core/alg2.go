@@ -54,36 +54,36 @@ func Join2(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate, n int64,
 		last := int64(-1) // position of the last matched B tuple
 		for pass := int64(0); pass < gamma; pass++ {
 			joined := make([][]byte, 0, blk) // lives in T's memory (Granted)
-			current := int64(0)
-			for bi := int64(0); bi < b.N; bi++ {
-				bT, err := t.GetTuple(b, bi)
+			scanErr := t.ScanRange(b.Region, 0, b.N, func(bi int64, pt []byte) error {
+				bT, err := b.Schema.Decode(pt)
 				if err != nil {
-					return Result{}, err
+					return fmt.Errorf("core: decoding B[%d]: %w", bi, err)
 				}
 				// The predicate is evaluated for every tuple regardless of
 				// whether the result can still be stored (Fixed Time).
 				t.ChargePredicate()
 				matched := pred.Match(aT, bT)
-				if current > last && int64(len(joined)) < blk && matched {
+				if bi > last && int64(len(joined)) < blk && matched {
 					payload, err := joinPayload(outSchema, aT, bT)
 					if err != nil {
-						return Result{}, err
+						return err
 					}
 					joined = append(joined, wrapReal(payload))
-					last = current
+					last = bi
 				}
-				current++
+				return nil
+			})
+			if scanErr != nil {
+				return Result{}, scanErr
 			}
 			// Pad to blk and flush: the output per pass has fixed size.
 			for int64(len(joined)) < blk {
 				joined = append(joined, wrapDecoy(payloadSize))
 			}
-			for _, cell := range joined {
-				if err := t.Put(out, outPos, cell); err != nil {
-					return Result{}, err
-				}
-				outPos++
+			if err := t.PutRange(out, outPos, joined); err != nil {
+				return Result{}, err
 			}
+			outPos += blk
 			if err := t.RequestDisk(out, outPos-blk, blk); err != nil {
 				return Result{}, err
 			}

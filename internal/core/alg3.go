@@ -48,15 +48,19 @@ func Join3(t *sim.Coprocessor, a, b sim.Table, pred *relation.Equi, n int64, pre
 	out := host.FreshRegion("alg3.out", int(n*a.N))
 	payloadSize := outSchema.TupleSize()
 
+	decoy := wrapDecoy(payloadSize)
+	decoyFill := make([][]byte, n)
+	for j := range decoyFill {
+		decoyFill[j] = decoy
+	}
+
 	for ai := int64(0); ai < a.N; ai++ {
 		aT, err := t.GetTuple(a, ai)
 		if err != nil {
 			return Result{}, err
 		}
-		for j := int64(0); j < n; j++ {
-			if err := t.Put(scratch, j, wrapDecoy(payloadSize)); err != nil {
-				return Result{}, err
-			}
+		if err := t.PutRange(scratch, 0, decoyFill); err != nil {
+			return Result{}, err
 		}
 		i := int64(0)
 		for bi := int64(0); bi < b.N; bi++ {

@@ -81,12 +81,10 @@ func multiScan(t *sim.Coprocessor, cart *sim.Cartesian, outSchema *relation.Sche
 			}
 		}
 		// Flush at the scan boundary only.
-		for _, cell := range stored {
-			if err := t.Put(out, outPos, cell); err != nil {
-				return 0, err
-			}
-			outPos++
+		if err := t.PutRange(out, outPos, stored); err != nil {
+			return 0, err
 		}
+		outPos += int64(len(stored))
 		if len(stored) > 0 {
 			if err := t.RequestDisk(out, outPos-int64(len(stored)), int64(len(stored))); err != nil {
 				return 0, err

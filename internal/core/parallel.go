@@ -97,32 +97,32 @@ func join2Range(t *sim.Coprocessor, a, b sim.Table, pred relation.Predicate,
 		last := int64(-1)
 		for pass := int64(0); pass < gamma; pass++ {
 			joined := make([][]byte, 0, blk)
-			current := int64(0)
-			for bi := int64(0); bi < b.N; bi++ {
-				bT, err := t.GetTuple(b, bi)
+			scanErr := t.ScanRange(b.Region, 0, b.N, func(bi int64, pt []byte) error {
+				bT, err := b.Schema.Decode(pt)
 				if err != nil {
-					return err
+					return fmt.Errorf("core: decoding B[%d]: %w", bi, err)
 				}
 				t.ChargePredicate()
 				matched := pred.Match(aT, bT)
-				if current > last && int64(len(joined)) < blk && matched {
+				if bi > last && int64(len(joined)) < blk && matched {
 					payload, err := outSchema.Encode(relation.JoinTuples(aT, bT))
 					if err != nil {
 						return err
 					}
 					joined = append(joined, wrapReal(payload))
-					last = current
+					last = bi
 				}
-				current++
+				return nil
+			})
+			if scanErr != nil {
+				return scanErr
 			}
 			for int64(len(joined)) < blk {
 				joined = append(joined, wrapDecoy(int(payloadSize)))
 			}
 			base := ai*gamma*blk + pass*blk
-			for k, cell := range joined {
-				if err := t.Put(out, base+int64(k), cell); err != nil {
-					return err
-				}
+			if err := t.PutRange(out, base, joined); err != nil {
+				return err
 			}
 			if err := t.RequestDisk(out, base, blk); err != nil {
 				return err
@@ -244,10 +244,8 @@ func join5RankWindow(t *sim.Coprocessor, tables []sim.Table, pred relation.Multi
 			}
 			rank++
 		}
-		for k, cell := range stored {
-			if err := t.Put(out, flushBase+int64(k), cell); err != nil {
-				return err
-			}
+		if err := t.PutRange(out, flushBase, stored); err != nil {
+			return err
 		}
 		if len(stored) > 0 {
 			if err := t.RequestDisk(out, flushBase, int64(len(stored))); err != nil {
@@ -257,6 +255,136 @@ func join5RankWindow(t *sim.Coprocessor, tables []sim.Table, pred relation.Multi
 		next += int64(len(stored))
 		if len(stored) == 0 {
 			break // window exhausted (fewer results than hiRank)
+		}
+	}
+	return nil
+}
+
+// ParallelJoin3 runs Algorithm 3 with P coprocessors: the oblivious sort of
+// B uses the parallel bitonic network over the largest power-of-two prefix
+// of the fleet, then the outer relation A is partitioned — device p handles
+// A rows [p·|A|/P, (p+1)·|A|/P) against its own private scratch ring,
+// writing output rows at the global offsets its partition owns. Every
+// device's access pattern depends only on its partition bounds and
+// (|B|, N), so the per-device privacy guarantee is unchanged.
+func ParallelJoin3(cops []*sim.Coprocessor, a, b sim.Table, pred *relation.Equi, n int64, preSorted bool) (Result, error) {
+	if len(cops) == 0 {
+		return Result{}, fmt.Errorf("%w: no coprocessors", errInvalid)
+	}
+	if err := validateCh4(a, b, n); err != nil {
+		return Result{}, err
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range cops {
+		c.ResetStats()
+	}
+
+	if !preSorted {
+		less := func(x, y []byte) bool {
+			tx, err := b.Schema.Decode(x)
+			if err != nil {
+				return false
+			}
+			ty, err := b.Schema.Decode(y)
+			if err != nil {
+				return false
+			}
+			return pred.Less(tx, ty)
+		}
+		// ParallelSort needs a power-of-two device count; use the largest
+		// power-of-two prefix of the fleet.
+		ps := 1
+		for ps*2 <= len(cops) {
+			ps *= 2
+		}
+		if err := oblivious.ParallelSort(cops[:ps], b.Region, b.N, less); err != nil {
+			return Result{}, err
+		}
+	}
+
+	host := cops[0].Host()
+	out := host.FreshRegion("palg3.out", int(n*a.N))
+	payloadSize := outSchema.TupleSize()
+
+	p := int64(len(cops))
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for w := int64(0); w < p; w++ {
+		lo := w * a.N / p
+		hi := (w + 1) * a.N / p
+		wg.Add(1)
+		go func(w, lo, hi int64) {
+			defer wg.Done()
+			errs[w] = join3Range(cops[w], a, b, pred, outSchema, out, int64(payloadSize), n, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var stats sim.Stats
+	for w := range errs {
+		if errs[w] != nil {
+			return Result{}, errs[w]
+		}
+		stats.Add(cops[w].Stats())
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: n * a.N, Schema: outSchema},
+		OutputLen: n * a.N,
+		Stats:     stats,
+	}, nil
+}
+
+// join3Range is Algorithm 3's inner discipline over A rows [lo, hi) with a
+// device-private scratch ring of N cells.
+func join3Range(t *sim.Coprocessor, a, b sim.Table, pred *relation.Equi,
+	outSchema *relation.Schema, out sim.RegionID, payloadSize, n, lo, hi int64) error {
+	if lo >= hi {
+		return nil
+	}
+	scratch := t.Host().FreshRegion("palg3.scratch", int(n))
+	decoy := wrapDecoy(int(payloadSize))
+	decoyFill := make([][]byte, n)
+	for j := range decoyFill {
+		decoyFill[j] = decoy
+	}
+	for ai := lo; ai < hi; ai++ {
+		aT, err := t.GetTuple(a, ai)
+		if err != nil {
+			return err
+		}
+		if err := t.PutRange(scratch, 0, decoyFill); err != nil {
+			return err
+		}
+		i := int64(0)
+		for bi := int64(0); bi < b.N; bi++ {
+			bT, err := t.GetTuple(b, bi)
+			if err != nil {
+				return err
+			}
+			prev, err := t.Get(scratch, i%n)
+			if err != nil {
+				return err
+			}
+			t.ChargePredicate()
+			if pred.Match(aT, bT) {
+				payload, err := joinPayload(outSchema, aT, bT)
+				if err != nil {
+					return err
+				}
+				if err := t.Put(scratch, i%n, wrapReal(payload)); err != nil {
+					return err
+				}
+			} else {
+				if err := t.Put(scratch, i%n, prev); err != nil {
+					return err
+				}
+			}
+			i++
+		}
+		if err := t.RequestCopyOut(out, ai*n, scratch, 0, n); err != nil {
+			return err
 		}
 	}
 	return nil

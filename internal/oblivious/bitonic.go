@@ -51,10 +51,8 @@ func Sort(t *sim.Coprocessor, region sim.RegionID, n int64, less LessFunc) error
 		return nil
 	}
 	m := NextPow2(n)
-	for i := n; i < m; i++ {
-		if err := t.Put(region, i, padCell); err != nil {
-			return err
-		}
+	if err := padRange(t, region, n, m); err != nil {
+		return err
 	}
 	wrapped := func(a, b []byte) bool {
 		switch {
@@ -66,11 +64,26 @@ func Sort(t *sim.Coprocessor, region sim.RegionID, n int64, less LessFunc) error
 			return less(a, b)
 		}
 	}
-	return sortPow2(t, region, m, wrapped)
+	return sortPow2(t, new(xchg), region, m, wrapped)
+}
+
+// padRange writes padding cells into [from, to) through the batched
+// transfer path. Same traced puts as the old per-cell loop, one region-lock
+// acquisition per TransferBatch window.
+func padRange(t *sim.Coprocessor, region sim.RegionID, from, to int64) error {
+	n := to - from
+	if n <= 0 {
+		return nil
+	}
+	pads := make([][]byte, n)
+	for i := range pads {
+		pads[i] = padCell
+	}
+	return t.PutRange(region, from, pads)
 }
 
 // sortPow2 runs the classic iterative bitonic network over m = 2^k cells.
-func sortPow2(t *sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) error {
+func sortPow2(t *sim.Coprocessor, x *xchg, region sim.RegionID, m int64, less LessFunc) error {
 	for k := int64(2); k <= m; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
 			for i := int64(0); i < m; i++ {
@@ -79,7 +92,7 @@ func sortPow2(t *sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) e
 					continue
 				}
 				ascending := i&k == 0
-				if err := compareExchange(t, region, i, l, ascending, less); err != nil {
+				if err := x.compareExchange(t, region, i, l, ascending, less); err != nil {
 					return err
 				}
 			}
@@ -88,26 +101,31 @@ func sortPow2(t *sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) e
 	return nil
 }
 
-// compareExchange performs one comparator: get both cells, compare inside T,
-// put both cells back (possibly swapped). Its access pattern and transfer
-// count are outcome-independent.
-func compareExchange(t *sim.Coprocessor, region sim.RegionID, i, j int64, ascending bool, less LessFunc) error {
-	a, err := t.Get(region, i)
-	if err != nil {
-		return err
-	}
-	b, err := t.Get(region, j)
+// xchg is the reused scratch of the batched comparator: two index slots and
+// two plaintext buffers whose backing arrays survive across comparators, so
+// a full sorting network allocates nothing per compare-exchange. One xchg
+// belongs to one goroutine; parallel sorts carry one per device.
+type xchg struct {
+	idx [2]int64
+	pts [][]byte
+}
+
+// compareExchange performs one comparator: get both cells (one batched
+// transfer), compare inside T, put both cells back (possibly swapped). The
+// traced sequence — get i, get j, put i, put j — and the transfer count are
+// identical to the per-cell version and outcome-independent.
+func (x *xchg) compareExchange(t *sim.Coprocessor, region sim.RegionID, i, j int64, ascending bool, less LessFunc) error {
+	x.idx[0], x.idx[1] = i, j
+	var err error
+	x.pts, err = t.GetBatchInto(x.pts, region, x.idx[:])
 	if err != nil {
 		return err
 	}
 	t.ChargeCompare()
-	if less(b, a) == ascending {
-		a, b = b, a
+	if less(x.pts[1], x.pts[0]) == ascending {
+		x.pts[0], x.pts[1] = x.pts[1], x.pts[0]
 	}
-	if err := t.Put(region, i, a); err != nil {
-		return err
-	}
-	return t.Put(region, j, b)
+	return t.PutBatch(region, x.idx[:], x.pts)
 }
 
 // Comparators returns the exact number of compare-exchanges the network

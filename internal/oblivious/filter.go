@@ -42,21 +42,17 @@ func Filter(t *sim.Coprocessor, src sim.RegionID, omega, mu, delta int64,
 		return isTarget(a) && !isTarget(b)
 	}
 
+	// copyCell re-encrypts a source cell into the buffer unchanged; the
+	// batched RMW keeps the get/put interleaving of the old per-cell loop.
+	copyCell := func(k int64, pt []byte) ([]byte, error) { return pt, nil }
+
 	// Initial fill: the first min(ω, μ+Δ) source cells, padded to μ+Δ.
 	head := min64(omega, bufSize)
-	for i := int64(0); i < head; i++ {
-		pt, err := t.Get(src, i)
-		if err != nil {
-			return 0, err
-		}
-		if err := t.Put(buf, i, pt); err != nil {
-			return 0, err
-		}
+	if err := t.TransformRange(buf, 0, src, 0, head, copyCell); err != nil {
+		return 0, err
 	}
-	for i := head; i < bufSize; i++ {
-		if err := t.Put(buf, i, padCell); err != nil {
-			return 0, err
-		}
+	if err := padRange(t, buf, head, bufSize); err != nil {
+		return 0, err
 	}
 	if err := Sort(t, buf, bufSize, less); err != nil {
 		return 0, err
@@ -64,19 +60,11 @@ func Filter(t *sim.Coprocessor, src sim.RegionID, omega, mu, delta int64,
 
 	for pos := bufSize; pos < omega; pos += delta {
 		r := min64(delta, omega-pos)
-		for i := int64(0); i < r; i++ {
-			pt, err := t.Get(src, pos+i)
-			if err != nil {
-				return 0, err
-			}
-			if err := t.Put(buf, mu+i, pt); err != nil {
-				return 0, err
-			}
+		if err := t.TransformRange(buf, mu, src, pos, r, copyCell); err != nil {
+			return 0, err
 		}
-		for i := r; i < delta; i++ {
-			if err := t.Put(buf, mu+i, padCell); err != nil {
-				return 0, err
-			}
+		if err := padRange(t, buf, mu+r, mu+delta); err != nil {
+			return 0, err
 		}
 		if err := Sort(t, buf, bufSize, less); err != nil {
 			return 0, err

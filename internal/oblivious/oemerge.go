@@ -26,10 +26,8 @@ func SortOddEven(t *sim.Coprocessor, region sim.RegionID, n int64, less LessFunc
 		return nil
 	}
 	m := NextPow2(n)
-	for i := n; i < m; i++ {
-		if err := t.Put(region, i, padCell); err != nil {
-			return err
-		}
+	if err := padRange(t, region, n, m); err != nil {
+		return err
 	}
 	wrapped := func(a, b []byte) bool {
 		switch {
@@ -41,43 +39,43 @@ func SortOddEven(t *sim.Coprocessor, region sim.RegionID, n int64, less LessFunc
 			return less(a, b)
 		}
 	}
-	return oddEvenMergeSort(t, region, 0, m, wrapped)
+	return oddEvenMergeSort(t, new(xchg), region, 0, m, wrapped)
 }
 
 // oddEvenMergeSort sorts the m (power of two) cells starting at lo.
-func oddEvenMergeSort(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less LessFunc) error {
+func oddEvenMergeSort(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m int64, less LessFunc) error {
 	if m <= 1 {
 		return nil
 	}
 	half := m / 2
-	if err := oddEvenMergeSort(t, region, lo, half, less); err != nil {
+	if err := oddEvenMergeSort(t, x, region, lo, half, less); err != nil {
 		return err
 	}
-	if err := oddEvenMergeSort(t, region, lo+half, half, less); err != nil {
+	if err := oddEvenMergeSort(t, x, region, lo+half, half, less); err != nil {
 		return err
 	}
-	return oddEvenMerge(t, region, lo, m, 1, less)
+	return oddEvenMerge(t, x, region, lo, m, 1, less)
 }
 
 // oddEvenMerge merges the two sorted halves of the m cells at stride r
 // starting at lo (Batcher's recursive formulation).
-func oddEvenMerge(t *sim.Coprocessor, region sim.RegionID, lo, m, r int64, less LessFunc) error {
+func oddEvenMerge(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m, r int64, less LessFunc) error {
 	step := r * 2
 	if step < m {
-		if err := oddEvenMerge(t, region, lo, m, step, less); err != nil {
+		if err := oddEvenMerge(t, x, region, lo, m, step, less); err != nil {
 			return err
 		}
-		if err := oddEvenMerge(t, region, lo+r, m, step, less); err != nil {
+		if err := oddEvenMerge(t, x, region, lo+r, m, step, less); err != nil {
 			return err
 		}
 		for i := lo + r; i+r < lo+m; i += step {
-			if err := compareExchange(t, region, i, i+r, true, less); err != nil {
+			if err := x.compareExchange(t, region, i, i+r, true, less); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return compareExchange(t, region, lo, lo+r, true, less)
+	return x.compareExchange(t, region, lo, lo+r, true, less)
 }
 
 // OddEvenComparators returns the exact comparator count of the odd-even

@@ -34,10 +34,8 @@ func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less Le
 		return nil
 	}
 	m := NextPow2(n)
-	for i := n; i < m; i++ {
-		if err := cops[0].Put(region, i, padCell); err != nil {
-			return err
-		}
+	if err := padRange(cops[0], region, n, m); err != nil {
+		return err
 	}
 	if p > m {
 		p = m // more devices than elements: use m of them
@@ -54,9 +52,14 @@ func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less Le
 		}
 	}
 
+	// Per-device comparator scratch: worker w always drives cops[w'] with
+	// w' = w mod len(cops), and within any phase or stage the workers map to
+	// distinct devices, so xs[w'] is never shared between live goroutines.
+	xs := make([]xchg, len(cops))
+
 	// Phase 1: local sorts, one block per coprocessor.
 	if err := inParallel(p, func(w int64) error {
-		return sortSpanPow2(cops[w], region, w*block, block, wrapped)
+		return sortSpanPow2(cops[w], &xs[w], region, w*block, block, wrapped)
 	}); err != nil {
 		return err
 	}
@@ -80,7 +83,8 @@ func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less Le
 			}
 			if err := inParallel(int64(len(pairs)), func(w int64) error {
 				pr := pairs[w]
-				return mergeSplit(cops[w%int64(len(cops))], region,
+				d := w % int64(len(cops))
+				return mergeSplit(cops[d], &xs[d], region,
 					pr.lo*block, pr.hi*block, block, wrapped)
 			}); err != nil {
 				return err
@@ -91,7 +95,7 @@ func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less Le
 }
 
 // sortSpanPow2 bitonic-sorts cells [lo, lo+m) where m is a power of two.
-func sortSpanPow2(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less LessFunc) error {
+func sortSpanPow2(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m int64, less LessFunc) error {
 	for k := int64(2); k <= m; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
 			for i := int64(0); i < m; i++ {
@@ -100,7 +104,7 @@ func sortSpanPow2(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less Les
 					continue
 				}
 				ascending := i&k == 0
-				if err := compareExchange(t, region, lo+i, lo+l, ascending, less); err != nil {
+				if err := x.compareExchange(t, region, lo+i, lo+l, ascending, less); err != nil {
 					return err
 				}
 			}
@@ -112,29 +116,29 @@ func sortSpanPow2(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less Les
 // mergeSplit merges two ascending-sorted blocks at lo and hi (each of block
 // cells, block a power of two) so that afterwards both are sorted and every
 // element at lo ≤ every element at hi.
-func mergeSplit(t *sim.Coprocessor, region sim.RegionID, lo, hi, block int64, less LessFunc) error {
+func mergeSplit(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, hi, block int64, less LessFunc) error {
 	// Cross half-cleaner over A ++ reverse(B).
 	for i := int64(0); i < block; i++ {
-		if err := compareExchange(t, region, lo+i, hi+block-1-i, true, less); err != nil {
+		if err := x.compareExchange(t, region, lo+i, hi+block-1-i, true, less); err != nil {
 			return err
 		}
 	}
 	// Each block is now bitonic; merge each ascending.
-	if err := bitonicMerge(t, region, lo, block, less); err != nil {
+	if err := bitonicMerge(t, x, region, lo, block, less); err != nil {
 		return err
 	}
-	return bitonicMerge(t, region, hi, block, less)
+	return bitonicMerge(t, x, region, hi, block, less)
 }
 
 // bitonicMerge sorts a bitonic sequence of m (power of two) cells ascending.
-func bitonicMerge(t *sim.Coprocessor, region sim.RegionID, lo, m int64, less LessFunc) error {
+func bitonicMerge(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m int64, less LessFunc) error {
 	for j := m >> 1; j > 0; j >>= 1 {
 		for i := int64(0); i < m; i++ {
 			l := i ^ j
 			if l <= i {
 				continue
 			}
-			if err := compareExchange(t, region, lo+i, lo+l, true, less); err != nil {
+			if err := x.compareExchange(t, region, lo+i, lo+l, true, less); err != nil {
 				return err
 			}
 		}

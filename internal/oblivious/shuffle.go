@@ -20,18 +20,17 @@ func Shuffle(t *sim.Coprocessor, region sim.RegionID, n int64) error {
 	if n <= 1 {
 		return nil
 	}
-	// Tag phase: rewrite every cell as key || payload.
-	for i := int64(0); i < n; i++ {
-		pt, err := t.Get(region, i)
-		if err != nil {
-			return err
-		}
-		tagged := make([]byte, 8+len(pt))
-		binary.BigEndian.PutUint64(tagged, t.Rand().Uint64())
-		copy(tagged[8:], pt)
-		if err := t.Put(region, i, tagged); err != nil {
-			return err
-		}
+	// Tag phase: rewrite every cell as key || payload. The tag buffer is
+	// reused across cells; TransformRange seals each result before the next
+	// callback runs.
+	var tagged []byte
+	err := t.TransformRange(region, 0, region, 0, n, func(k int64, pt []byte) ([]byte, error) {
+		tagged = binary.BigEndian.AppendUint64(tagged[:0], t.Rand().Uint64())
+		tagged = append(tagged, pt...)
+		return tagged, nil
+	})
+	if err != nil {
+		return err
 	}
 	less := func(a, b []byte) bool {
 		return binary.BigEndian.Uint64(a) < binary.BigEndian.Uint64(b)
@@ -40,19 +39,12 @@ func Shuffle(t *sim.Coprocessor, region sim.RegionID, n int64) error {
 		return err
 	}
 	// Strip phase.
-	for i := int64(0); i < n; i++ {
-		pt, err := t.Get(region, i)
-		if err != nil {
-			return err
-		}
+	return t.TransformRange(region, 0, region, 0, n, func(k int64, pt []byte) ([]byte, error) {
 		if len(pt) < 8 {
-			return fmt.Errorf("oblivious: shuffle strip found short cell at %d", i)
+			return nil, fmt.Errorf("oblivious: shuffle strip found short cell at %d", k)
 		}
-		if err := t.Put(region, i, pt[8:]); err != nil {
-			return err
-		}
-	}
-	return nil
+		return pt[8:], nil
+	})
 }
 
 // ShuffleTransfers returns the exact transfer count of Shuffle on n cells.

@@ -1,0 +1,35 @@
+// The race detector instruments allocations, so the zero-alloc pin only
+// holds on normal builds.
+//go:build !race
+
+package ocb
+
+import "testing"
+
+// TestSealOpenZeroAlloc pins the allocation discipline of the append-style
+// API: with reused destination buffers a steady-state Seal+Open round trip
+// must not touch the heap. The batched transfer paths in internal/sim rely
+// on this to keep the coprocessor hot loops allocation-free.
+func TestSealOpenZeroAlloc(t *testing.T) {
+	m, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [NonceSize]byte
+	pt := make([]byte, 64)
+	ct := make([]byte, 0, len(pt)+TagSize)
+	out := make([]byte, 0, len(pt))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		nonce[0]++
+		ct = m.Seal(ct[:0], nonce, pt)
+		var err error
+		out, err = m.Open(out[:0], nonce, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Seal+Open round trip allocates %.1f times, want 0", allocs)
+	}
+}

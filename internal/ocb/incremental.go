@@ -40,7 +40,9 @@ type Incremental struct {
 // NewIncremental starts an incremental message under a fresh nonce (one
 // nonce per round / sort stage, as §4.4.1 prescribes).
 func (m *Mode) NewIncremental(nonce [NonceSize]byte) *Incremental {
-	base := m.baseOffset(nonce)
+	s := scratchPool.Get().(*scratch)
+	base := m.baseOffset(s, nonce)
+	scratchPool.Put(s)
 	return &Incremental{m: m, base: base, offset: base}
 }
 

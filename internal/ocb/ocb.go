@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // BlockSize is the cipher block size in bytes; OCB as specified here
@@ -54,7 +55,9 @@ var (
 )
 
 // Mode is an OCB instance bound to one key. It is safe for concurrent use
-// after construction; all per-message state lives on the stack.
+// after construction; per-message state lives on the stack or in a pooled
+// scratch buffer, so steady-state Seal/Open with reused destination buffers
+// never allocates.
 type Mode struct {
 	block cipher.Block
 	// l[j] = x^j · L precomputed for j up to maxL.
@@ -97,11 +100,23 @@ func NewWithCipher(block cipher.Block) (*Mode, error) {
 // transmits the nonce separately or prepends it).
 func (m *Mode) Overhead() int { return TagSize }
 
+// scratch holds the block temporaries that are handed to the cipher.Block
+// interface. A stack array passed through an interface call escapes to the
+// heap, so the hot paths borrow one of these from a pool instead, keeping
+// steady-state Seal/Open allocation-free.
+type scratch struct {
+	tmp, pad, tag, z [BlockSize]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Seal encrypts and authenticates plaintext under the given nonce, appending
 // the result to dst. The output layout is ciphertext || tag; its length is
 // len(plaintext) + TagSize. Nonces must never repeat under one key.
 func (m *Mode) Seal(dst []byte, nonce [NonceSize]byte, plaintext []byte) []byte {
-	offset := m.baseOffset(nonce)
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	offset := m.baseOffset(s, nonce)
 	var checksum [BlockSize]byte
 
 	out := append(dst, make([]byte, len(plaintext)+TagSize)...)
@@ -116,38 +131,37 @@ func (m *Mode) Seal(dst []byte, nonce [NonceSize]byte, plaintext []byte) []byte 
 		rem = BlockSize
 	}
 
-	var tmp [BlockSize]byte
 	for i := 0; i < full; i++ {
 		offset = xorBlocks(offset, m.l[ntz(uint64(i+1))])
 		pt := plaintext[i*BlockSize : (i+1)*BlockSize]
 		checksum = xorBytes(checksum, pt)
-		copy(tmp[:], pt)
-		tmp = xorBlocks(tmp, offset)
-		m.block.Encrypt(tmp[:], tmp[:])
-		tmp = xorBlocks(tmp, offset)
-		copy(ct[i*BlockSize:], tmp[:])
+		copy(s.tmp[:], pt)
+		s.tmp = xorBlocks(s.tmp, offset)
+		m.block.Encrypt(s.tmp[:], s.tmp[:])
+		s.tmp = xorBlocks(s.tmp, offset)
+		copy(ct[i*BlockSize:], s.tmp[:])
 	}
 
 	// Final block.
 	offset = xorBlocks(offset, m.l[ntz(uint64(full+1))])
 	var lenBlock [BlockSize]byte
 	binary.BigEndian.PutUint64(lenBlock[8:], uint64(rem)*8)
-	pad := xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
-	m.block.Encrypt(pad[:], pad[:])
+	s.pad = xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
+	m.block.Encrypt(s.pad[:], s.pad[:])
 
 	final := plaintext[full*BlockSize:]
 	for i := 0; i < rem; i++ {
-		ct[full*BlockSize+i] = final[i] ^ pad[i]
+		ct[full*BlockSize+i] = final[i] ^ s.pad[i]
 	}
 	// Checksum ⊕= C[m]0* ⊕ Pad (per the OCB1 definition quoted in §3.3.3).
 	var cm [BlockSize]byte
 	copy(cm[:], ct[full*BlockSize:full*BlockSize+rem])
 	checksum = xorBlocks(checksum, cm)
-	checksum = xorBlocks(checksum, pad)
+	checksum = xorBlocks(checksum, s.pad)
 
-	tag := xorBlocks(checksum, offset)
-	m.block.Encrypt(tag[:], tag[:])
-	copy(out[len(dst)+len(plaintext):], tag[:TagSize])
+	s.tag = xorBlocks(checksum, offset)
+	m.block.Encrypt(s.tag[:], s.tag[:])
+	copy(out[len(dst)+len(plaintext):], s.tag[:TagSize])
 	return out
 }
 
@@ -160,7 +174,9 @@ func (m *Mode) Open(dst []byte, nonce [NonceSize]byte, sealed []byte) ([]byte, e
 	ct := sealed[:len(sealed)-TagSize]
 	wantTag := sealed[len(sealed)-TagSize:]
 
-	offset := m.baseOffset(nonce)
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	offset := m.baseOffset(s, nonce)
 	var checksum [BlockSize]byte
 
 	out := append(dst, make([]byte, len(ct))...)
@@ -173,44 +189,43 @@ func (m *Mode) Open(dst []byte, nonce [NonceSize]byte, sealed []byte) ([]byte, e
 		rem = BlockSize
 	}
 
-	var tmp [BlockSize]byte
 	for i := 0; i < full; i++ {
 		offset = xorBlocks(offset, m.l[ntz(uint64(i+1))])
-		copy(tmp[:], ct[i*BlockSize:(i+1)*BlockSize])
-		tmp = xorBlocks(tmp, offset)
-		m.block.Decrypt(tmp[:], tmp[:])
-		tmp = xorBlocks(tmp, offset)
-		copy(pt[i*BlockSize:], tmp[:])
+		copy(s.tmp[:], ct[i*BlockSize:(i+1)*BlockSize])
+		s.tmp = xorBlocks(s.tmp, offset)
+		m.block.Decrypt(s.tmp[:], s.tmp[:])
+		s.tmp = xorBlocks(s.tmp, offset)
+		copy(pt[i*BlockSize:], s.tmp[:])
 		checksum = xorBytes(checksum, pt[i*BlockSize:(i+1)*BlockSize])
 	}
 
 	offset = xorBlocks(offset, m.l[ntz(uint64(full+1))])
 	var lenBlock [BlockSize]byte
 	binary.BigEndian.PutUint64(lenBlock[8:], uint64(rem)*8)
-	pad := xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
-	m.block.Encrypt(pad[:], pad[:])
+	s.pad = xorBlocks(xorBlocks(lenBlock, m.lInv), offset)
+	m.block.Encrypt(s.pad[:], s.pad[:])
 
 	for i := 0; i < rem; i++ {
-		pt[full*BlockSize+i] = ct[full*BlockSize+i] ^ pad[i]
+		pt[full*BlockSize+i] = ct[full*BlockSize+i] ^ s.pad[i]
 	}
 	var cm [BlockSize]byte
 	copy(cm[:], ct[full*BlockSize:full*BlockSize+rem])
 	checksum = xorBlocks(checksum, cm)
-	checksum = xorBlocks(checksum, pad)
+	checksum = xorBlocks(checksum, s.pad)
 
-	tag := xorBlocks(checksum, offset)
-	m.block.Encrypt(tag[:], tag[:])
-	if subtle.ConstantTimeCompare(tag[:TagSize], wantTag) != 1 {
+	s.tag = xorBlocks(checksum, offset)
+	m.block.Encrypt(s.tag[:], s.tag[:])
+	if subtle.ConstantTimeCompare(s.tag[:TagSize], wantTag) != 1 {
 		return nil, ErrAuth
 	}
 	return out, nil
 }
 
 // baseOffset computes Z[0] = E_K(N ⊕ E_K(0ⁿ)).
-func (m *Mode) baseOffset(nonce [NonceSize]byte) [BlockSize]byte {
-	z := xorBlocks(nonce, m.encZero)
-	m.block.Encrypt(z[:], z[:])
-	return z
+func (m *Mode) baseOffset(s *scratch, nonce [NonceSize]byte) [BlockSize]byte {
+	s.z = xorBlocks(nonce, m.encZero)
+	m.block.Encrypt(s.z[:], s.z[:])
+	return s.z
 }
 
 // ntz returns the number of trailing zeros of i ≥ 1 (the Gray-code offset

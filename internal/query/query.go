@@ -79,6 +79,29 @@ func (p Plan) AlgorithmName() string {
 	return fmt.Sprintf("alg%d", p.Algorithm)
 }
 
+// Devices returns how many of the requested coprocessors the chosen
+// algorithm can exploit. Algorithms 2, 3 and 5 partition the outer relation
+// (or the rank space) across any device count; Algorithm 4's parallel decoy
+// filter is a parallel bitonic sort, which needs a power-of-two fleet; the
+// rest run on a single device.
+func (p Plan) Devices(requested int) int {
+	if requested < 1 {
+		return 1
+	}
+	switch p.Algorithm {
+	case 2, 3, 5:
+		return requested
+	case 4:
+		ps := 1
+		for ps*2 <= requested {
+			ps *= 2
+		}
+		return ps
+	default:
+		return 1
+	}
+}
+
 // String renders the plan.
 func (p Plan) String() string {
 	if p.Algorithm == 0 {

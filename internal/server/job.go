@@ -245,6 +245,7 @@ func (j *Job) finish(out service.Outcome) {
 	}
 	j.srv.metrics.recordRun(out.Algorithm, out.Err == nil, elapsed)
 	j.srv.metrics.addStats(out.Stats)
+	j.srv.metrics.recordDevices(out.Devices)
 	close(j.done)
 }
 

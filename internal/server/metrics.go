@@ -22,6 +22,12 @@ type Metrics struct {
 	walFailures atomic.Uint64
 	cop         sim.AtomicStats
 
+	// Per-job device usage: how many executions ran with >1 coprocessor,
+	// the total devices attached across executions, and the widest fleet.
+	parallelRuns    atomic.Uint64
+	devicesAttached atomic.Uint64
+	maxDevices      atomic.Int64
+
 	mu   sync.Mutex
 	algs map[string]*algStats
 }
@@ -103,6 +109,23 @@ func (m *Metrics) recordFailure(alg string) { m.recordRun(alg, false, 0) }
 // server-wide aggregate.
 func (m *Metrics) addStats(s sim.Stats) { m.cop.Add(s) }
 
+// recordDevices records how many coprocessors one execution attached.
+func (m *Metrics) recordDevices(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.devicesAttached.Add(uint64(n))
+	if n > 1 {
+		m.parallelRuns.Add(1)
+	}
+	for {
+		cur := m.maxDevices.Load()
+		if int64(n) <= cur || m.maxDevices.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
 // AlgSnapshot summarises one algorithm's completions.
 type AlgSnapshot struct {
 	Completed uint64  `json:"completed"`
@@ -131,6 +154,18 @@ type Snapshot struct {
 	// cells in/out of T, logical reads, comparisons, predicate
 	// evaluations, disk requests.
 	Coprocessor sim.Stats `json:"coprocessor"`
+	// Devices summarises per-job coprocessor fleets.
+	Devices DeviceSnapshot `json:"devices"`
+}
+
+// DeviceSnapshot summarises how many coprocessors jobs attached.
+type DeviceSnapshot struct {
+	// ParallelRuns counts executions that ran with more than one device.
+	ParallelRuns uint64 `json:"parallel_runs"`
+	// Attached is the total device count across every execution.
+	Attached uint64 `json:"attached"`
+	// Max is the widest fleet any execution used.
+	Max int64 `json:"max"`
 }
 
 // Snapshot captures the current metrics.
@@ -142,6 +177,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		WALAppendFailures: m.walFailures.Load(),
 		Algorithms:        make(map[string]AlgSnapshot),
 		Coprocessor:       m.cop.Snapshot(),
+		Devices: DeviceSnapshot{
+			ParallelRuns: m.parallelRuns.Load(),
+			Attached:     m.devicesAttached.Load(),
+			Max:          m.maxDevices.Load(),
+		},
 	}
 	for s := StatePending; s <= StateFailed; s++ {
 		snap.Jobs[s.String()] = m.gauges[s].Load()

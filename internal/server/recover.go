@@ -90,6 +90,7 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 	if err != nil {
 		return err
 	}
+	svc.Devices = s.cfg.DevicesPerJob
 	providers, recipients := rj.contract.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 && !rj.state.Terminal() {

@@ -111,6 +111,11 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
     "Comparisons": 0,
     "PredEvals": 0,
     "DiskRequests": 0
+  },
+  "devices": {
+    "parallel_runs": 0,
+    "attached": 0,
+    "max": 0
   }
 }`
 	if string(js) != wantSnap {

@@ -42,6 +42,13 @@ type Config struct {
 	// Memory is the per-job coprocessor free memory M in tuples (0 =
 	// effectively unbounded).
 	Memory int
+	// DevicesPerJob attaches that many coprocessors (sharing one sealer)
+	// to each job's host; algorithms with a parallel variant (2, 3, 4, 5)
+	// then dispatch to it — the §4.4.4/§5.3.5 intra-job parallelism. For
+	// "auto" contracts the planner's Plan.Devices rule decides how many of
+	// them the chosen algorithm can exploit. Zero or 1 keeps jobs
+	// sequential.
+	DevicesPerJob int
 	// Seed pins every job's coprocessor randomness (tests only). Zero —
 	// the production setting — draws fresh crypto/rand entropy per job.
 	Seed uint64
@@ -171,6 +178,7 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	svc.Devices = s.cfg.DevicesPerJob
 	providers, recipients := c.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 {

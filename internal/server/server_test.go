@@ -593,3 +593,52 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+// TestDevicesPerJob runs jobs on a server configured with a four-device
+// fleet per job: a parallel-admissible algorithm must deliver the exact
+// join and be recorded as a parallel run in the device metrics, while
+// Algorithm 1 (sequential-only) must attach a single device.
+func TestDevicesPerJob(t *testing.T) {
+	srv, err := New(Config{Workers: 1, Memory: 16, DevicesPerJob: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	run := func(id, alg string) {
+		g := newGroup(t, id, alg, 81, 82, 8, 8)
+		j, err := srv.Register(g.contract)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.pipeProvider(t, srv, g.provA, g.relA); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.pipeProvider(t, srv, g.provB, g.relB); err != nil {
+			t.Fatal(err)
+		}
+		out := g.pipeRecipient(t, srv)
+		waitDone(t, j)
+		if o := <-out; o.err != nil {
+			t.Fatal(o.err)
+		} else {
+			assertSameRows(t, o.result, g.wantJoin(), id)
+		}
+	}
+	run("devices-par", "alg2")
+	run("devices-seq", "alg1")
+	snap := srv.MetricsSnapshot()
+	if snap.Devices.ParallelRuns != 1 {
+		t.Fatalf("parallel runs = %d, want 1", snap.Devices.ParallelRuns)
+	}
+	if snap.Devices.Attached != 5 { // 4 for alg2 + 1 for alg1
+		t.Fatalf("attached = %d, want 5", snap.Devices.Attached)
+	}
+	if snap.Devices.Max != 4 {
+		t.Fatalf("max devices = %d, want 4", snap.Devices.Max)
+	}
+}

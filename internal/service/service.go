@@ -66,6 +66,12 @@ type Service struct {
 	// execution, so two jobs never replay the same MLFSR traversal or decoy
 	// placement.
 	Seed uint64
+	// Devices is the number of coprocessors to attach to an execution's
+	// host. Values above 1 dispatch to the parallel variants (ParallelJoin2/
+	// 3/4/5, ParallelSort-backed) when the chosen algorithm admits them; the
+	// fleet shares one sealer, and each device keeps its own seed, trace and
+	// stats. Zero or 1 means sequential execution.
+	Devices int
 
 	mu      sync.Mutex
 	uploads map[string]*upload
@@ -362,7 +368,10 @@ type Outcome struct {
 	// Algorithm is the algorithm actually run ("alg1".."alg6" or
 	// "aggregate") — for "auto" contracts, the planner's choice.
 	Algorithm string
-	// Stats are T's cost counters for this execution.
+	// Devices is the number of coprocessors the execution actually used
+	// (1 for sequential runs and algorithms without a parallel variant).
+	Devices int
+	// Stats are T's cost counters for this execution, summed across devices.
 	Stats sim.Stats
 	Err   error
 }
@@ -373,10 +382,10 @@ type Outcome struct {
 func (s *Service) RunContract() Outcome {
 	if s.Contract.Algorithm == "aggregate" {
 		agg, stats, err := s.runAggregate()
-		return Outcome{Agg: agg, Algorithm: "aggregate", Stats: stats, Err: err}
+		return Outcome{Agg: agg, Algorithm: "aggregate", Devices: 1, Stats: stats, Err: err}
 	}
-	rows, schema, padded, alg, stats, err := s.runJoin()
-	return Outcome{Rows: rows, Schema: schema, Padded: padded, Algorithm: alg, Stats: stats, Err: err}
+	rows, schema, padded, alg, devices, stats, err := s.runJoin()
+	return Outcome{Rows: rows, Schema: schema, Padded: padded, Algorithm: alg, Devices: devices, Stats: stats, Err: err}
 }
 
 // Deliver seals an outcome under a recipient session and sends it.
@@ -461,43 +470,76 @@ func (s *Service) planAlgorithm(rels []*relation.Relation) (query.Plan, error) {
 	return query.Planner{Memory: mem}.Plan(q, rels)
 }
 
+// algorithmNumber maps a contract algorithm name to its chapter number (0
+// when unknown), for the planner's device-count rule.
+func algorithmNumber(alg string) int {
+	if len(alg) == 4 && alg[:3] == "alg" && alg[3] >= '1' && alg[3] <= '6' {
+		return int(alg[3] - '0')
+	}
+	return 0
+}
+
 // runJoin executes the contracted algorithm over the uploaded relations,
 // returning oTuple cells (flag byte + payload), the algorithm actually run,
-// and T's cost counters.
-func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, alg string, stats sim.Stats, err error) {
+// the device count used, and T's cost counters summed across devices.
+func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, alg string, devices int, stats sim.Stats, err error) {
 	rels, names, err := s.gatherUploads()
 	if err != nil {
-		return nil, nil, false, "", sim.Stats{}, err
+		return nil, nil, false, "", 1, sim.Stats{}, err
 	}
 
 	alg = s.Contract.Algorithm
 	if alg == "auto" {
 		plan, perr := s.planAlgorithm(rels)
 		if perr != nil {
-			return nil, nil, false, "", sim.Stats{}, perr
+			return nil, nil, false, "", 1, sim.Stats{}, perr
 		}
 		alg = plan.AlgorithmName()
 	}
+	// How many of the configured devices the algorithm can exploit.
+	devices = query.Plan{Algorithm: algorithmNumber(alg)}.Devices(s.Devices)
 
 	seed, err := s.execSeed()
 	if err != nil {
-		return nil, nil, false, alg, sim.Stats{}, err
+		return nil, nil, false, alg, devices, sim.Stats{}, err
 	}
 	host := sim.NewHost(0)
 	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: seed})
 	if err != nil {
-		return nil, nil, false, alg, sim.Stats{}, err
+		return nil, nil, false, alg, devices, sim.Stats{}, err
+	}
+	// The fleet shares device 0's sealer (parallel variants re-encrypt cells
+	// for each other) while every device keeps its own derived seed, trace
+	// and stats.
+	cops := make([]*sim.Coprocessor, devices)
+	cops[0] = cop
+	for i := 1; i < devices; i++ {
+		dseed := seed + uint64(i)*0x9e3779b97f4a7c15
+		if dseed == 0 {
+			dseed = 1
+		}
+		cops[i], err = sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Sealer: cop.Sealer(), Seed: dseed})
+		if err != nil {
+			return nil, nil, false, alg, devices, sim.Stats{}, err
+		}
 	}
 	tabs := make([]sim.Table, len(rels))
 	for i, rel := range rels {
 		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
 		if err != nil {
-			return nil, nil, false, alg, sim.Stats{}, err
+			return nil, nil, false, alg, devices, sim.Stats{}, err
 		}
 	}
 
-	fail := func(ferr error) ([][]byte, *relation.Schema, bool, string, sim.Stats, error) {
-		return nil, nil, false, alg, cop.Stats(), ferr
+	fleetStats := func() sim.Stats {
+		var st sim.Stats
+		for _, c := range cops {
+			st.Add(c.Stats())
+		}
+		return st
+	}
+	fail := func(ferr error) ([][]byte, *relation.Schema, bool, string, int, sim.Stats, error) {
+		return nil, nil, false, alg, devices, fleetStats(), ferr
 	}
 
 	var res core.Result
@@ -518,13 +560,21 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		case "alg1":
 			res, err = core.Join1(cop, tabs[0], tabs[1], pred, n)
 		case "alg2":
-			res, err = core.Join2(cop, tabs[0], tabs[1], pred, n, 0)
+			if devices > 1 {
+				res, err = core.ParallelJoin2(cops, tabs[0], tabs[1], pred, n, 0)
+			} else {
+				res, err = core.Join2(cop, tabs[0], tabs[1], pred, n, 0)
+			}
 		case "alg3":
 			eq, ok := pred.(*relation.Equi)
 			if !ok {
 				return fail(errors.New("service: alg3 requires an equi predicate"))
 			}
-			res, err = core.Join3(cop, tabs[0], tabs[1], eq, n, false)
+			if devices > 1 {
+				res, err = core.ParallelJoin3(cops, tabs[0], tabs[1], eq, n, false)
+			} else {
+				res, err = core.Join3(cop, tabs[0], tabs[1], eq, n, false)
+			}
 		}
 		if err != nil {
 			return fail(err)
@@ -537,9 +587,17 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		switch alg {
 		case "alg4":
-			res, err = core.Join4(cop, tabs, pred)
+			if devices > 1 {
+				res, err = core.ParallelJoin4(cops, tabs, pred)
+			} else {
+				res, err = core.Join4(cop, tabs, pred)
+			}
 		case "alg5":
-			res, err = core.Join5(cop, tabs, pred)
+			if devices > 1 {
+				res, err = core.ParallelJoin5(cops, tabs, pred)
+			} else {
+				res, err = core.Join5(cop, tabs, pred)
+			}
 		case "alg6":
 			var rep core.Join6Report
 			rep, err = core.Join6(cop, tabs, pred, s.Contract.Epsilon)
@@ -563,7 +621,7 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		out = append(out, cell)
 	}
-	return out, res.Output.Schema, padded, alg, cop.Stats(), nil
+	return out, res.Output.Schema, padded, alg, devices, res.Stats, nil
 }
 
 // runAggregate executes an "aggregate" contract: the statistic is computed

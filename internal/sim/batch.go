@@ -1,0 +1,234 @@
+package sim
+
+import "fmt"
+
+// This file holds the batched transfer APIs. Each batched call performs the
+// SAME per-cell accesses, in the SAME order, as the equivalent sequence of
+// Get/Put/RequestDisk calls — the per-device trace and Stats are identical,
+// which is what the access-pattern invariance tests pin. What changes is
+// only the synchronisation cost: the region lock and the host trace lock
+// are acquired once per batch instead of once per cell, and plaintext
+// staging buffers are pooled, so the hot loops of the sort networks and the
+// sequential scans stop serialising on the host.
+
+// TransferBatch is the staging window of the chunked batch operations: how
+// many cells transit T per lock acquisition. The window is DMA-style
+// staging and is not charged against the device's M-tuple memory, extending
+// the uncharged "+2" staging convention of §4.1 (algorithm-visible state is
+// still bounded by Grant).
+const TransferBatch = 64
+
+// GetRange transfers cells [from, from+n) from H into T and decrypts them,
+// exactly like n sequential Gets but under one region-lock acquisition.
+func (t *Coprocessor) GetRange(id RegionID, from, n int64) ([][]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	cts, err := t.host.readRange(id, from, n, make([][]byte, 0, n))
+	served := int64(len(cts))
+	for i := int64(0); i < served; i++ {
+		t.trace.Append(Event{Op: OpGet, Region: id, Index: from + i})
+	}
+	t.stats.Gets += uint64(served)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([][]byte, n)
+	for k, ct := range cts {
+		pt, oerr := t.sealer.Open(ct)
+		if oerr != nil {
+			return nil, fmt.Errorf("sim: get %s[%d]: %w", t.host.RegionName(id), from+int64(k), oerr)
+		}
+		pts[k] = pt
+	}
+	return pts, nil
+}
+
+// ScanRange streams cells [from, from+n) through fn in TransferBatch-sized
+// windows: per window one region-lock acquisition, plaintexts opened into a
+// pooled buffer that fn must not retain. The traced access sequence and the
+// Stats counts equal n sequential Gets.
+func (t *Coprocessor) ScanRange(id RegionID, from, n int64, fn func(k int64, pt []byte) error) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	cts := make([][]byte, 0, min64(n, TransferBatch))
+	for off := int64(0); off < n; off += TransferBatch {
+		c := min64(TransferBatch, n-off)
+		var err error
+		cts, err = t.host.readRange(id, from+off, c, cts[:0])
+		served := int64(len(cts))
+		for i := int64(0); i < served; i++ {
+			t.trace.Append(Event{Op: OpGet, Region: id, Index: from + off + i})
+		}
+		t.stats.Gets += uint64(served)
+		if err != nil {
+			return err
+		}
+		for k, ct := range cts {
+			pt, oerr := t.sealer.OpenTo((*buf)[:0], ct)
+			if oerr != nil {
+				return fmt.Errorf("sim: get %s[%d]: %w", t.host.RegionName(id), from+off+int64(k), oerr)
+			}
+			*buf = pt[:0]
+			if ferr := fn(off+int64(k), pt); ferr != nil {
+				return ferr
+			}
+		}
+	}
+	return nil
+}
+
+// PutRange encrypts the plaintexts inside T and transfers them to cells
+// [from, from+len(plaintexts)), exactly like sequential Puts but with one
+// region-lock acquisition per TransferBatch window.
+func (t *Coprocessor) PutRange(id RegionID, from int64, plaintexts [][]byte) error {
+	n := int64(len(plaintexts))
+	for off := int64(0); off < n; off += TransferBatch {
+		c := min64(TransferBatch, n-off)
+		if cap(t.sealScratch) < int(c) {
+			t.sealScratch = make([][]byte, c)
+		}
+		cts := t.sealScratch[:c]
+		for k := int64(0); k < c; k++ {
+			cts[k] = t.sealer.Seal(plaintexts[off+k])
+		}
+		err := t.host.writeRange(id, from+off, cts)
+		for k := range cts {
+			cts[k] = nil // drop the references; the host retains the cells
+		}
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < c; i++ {
+			t.trace.Append(Event{Op: OpPut, Region: id, Index: from + off + i})
+		}
+		t.stats.Puts += uint64(c)
+	}
+	return nil
+}
+
+// GetBatchInto transfers the cells at the given (not necessarily
+// contiguous) indices into T under one region-lock acquisition, opening
+// each into dst[k][:0] so a caller that reuses dst across calls performs no
+// steady-state allocations. It returns dst resized to len(indices). The
+// traced sequence equals sequential Gets in indices order.
+func (t *Coprocessor) GetBatchInto(dst [][]byte, id RegionID, indices []int64) ([][]byte, error) {
+	for len(dst) < len(indices) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(indices)]
+	cts, err := t.host.readBatch(id, indices, t.ctScratch[:0])
+	t.ctScratch = cts
+	served := len(cts)
+	for i := 0; i < served; i++ {
+		t.trace.Append(Event{Op: OpGet, Region: id, Index: indices[i]})
+	}
+	t.stats.Gets += uint64(served)
+	if err != nil {
+		return dst, err
+	}
+	for k, ct := range cts {
+		pt, oerr := t.sealer.OpenTo(dst[k][:0], ct)
+		if oerr != nil {
+			return dst, fmt.Errorf("sim: get %s[%d]: %w", t.host.RegionName(id), indices[k], oerr)
+		}
+		dst[k] = pt
+		cts[k] = nil
+	}
+	return dst, nil
+}
+
+// PutBatch encrypts the plaintexts inside T and writes them to the given
+// indices under one region-lock acquisition. The traced sequence equals
+// sequential Puts in indices order.
+func (t *Coprocessor) PutBatch(id RegionID, indices []int64, plaintexts [][]byte) error {
+	if len(indices) != len(plaintexts) {
+		return fmt.Errorf("sim: put batch of %d cells with %d indices", len(plaintexts), len(indices))
+	}
+	n := len(indices)
+	if n == 0 {
+		return nil
+	}
+	if cap(t.sealScratch) < n {
+		t.sealScratch = make([][]byte, n)
+	}
+	cts := t.sealScratch[:n]
+	for k := range plaintexts {
+		cts[k] = t.sealer.Seal(plaintexts[k])
+	}
+	err := t.host.writeBatch(id, indices, cts)
+	for k := range cts {
+		cts[k] = nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, idx := range indices {
+		t.trace.Append(Event{Op: OpPut, Region: id, Index: idx})
+	}
+	t.stats.Puts += uint64(n)
+	return nil
+}
+
+// TransformRange is a batched read-modify-write scan: for each k in [0, n)
+// it gets src[srcFrom+k], passes the plaintext through fn, and puts fn's
+// result at dst[dstFrom+k]. The traced sequence — get, put, get, put,
+// interleaved per cell — and the Stats counts are identical to the
+// sequential loop; the region locks are held once per TransferBatch window,
+// so fn runs under them and must not access the host (counter charges like
+// ChargePredicate are fine). fn may retain neither pt nor its return value
+// past the call; both are re-sealed or recycled immediately.
+//
+// dst and src may be the same region (in-place rewrite, e.g. the shuffle
+// tag/strip phases) or different ones (re-encrypting copy, e.g. filter
+// fills); distinct regions are locked in RegionID order.
+func (t *Coprocessor) TransformRange(dst RegionID, dstFrom int64, src RegionID, srcFrom, n int64,
+	fn func(k int64, pt []byte) ([]byte, error)) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	for off := int64(0); off < n; off += TransferBatch {
+		c := min64(TransferBatch, n-off)
+		done, openOrFnErr, err := t.host.transformRange(dst, dstFrom+off, src, srcFrom+off, c,
+			func(k int64, ct []byte) ([]byte, error) {
+				pt, oerr := t.sealer.OpenTo((*buf)[:0], ct)
+				if oerr != nil {
+					return nil, fmt.Errorf("sim: get %s[%d]: %w", t.host.RegionName(src), srcFrom+off+k, oerr)
+				}
+				*buf = pt[:0]
+				out, ferr := fn(off+k, pt)
+				if ferr != nil {
+					return nil, ferr
+				}
+				return t.sealer.Seal(out), nil
+			})
+		for k := int64(0); k < done; k++ {
+			t.trace.Append(Event{Op: OpGet, Region: src, Index: srcFrom + off + k})
+			t.trace.Append(Event{Op: OpPut, Region: dst, Index: dstFrom + off + k})
+		}
+		t.stats.Gets += uint64(done)
+		t.stats.Puts += uint64(done)
+		if openOrFnErr {
+			// The failing cell's get succeeded at the host before the open or
+			// fn failed, matching the sequential Get-then-fail accounting.
+			t.trace.Append(Event{Op: OpGet, Region: src, Index: srcFrom + off + done})
+			t.stats.Gets++
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

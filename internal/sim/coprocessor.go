@@ -52,6 +52,11 @@ type Coprocessor struct {
 	// host view interleaves nondeterministically, so per-device privacy
 	// tests compare these local traces instead.
 	trace *Trace
+	// Reused slice headers for the batched transfer paths (batch.go). A
+	// Coprocessor is single-goroutine by contract — only the Host it talks
+	// to is shared — so unsynchronised scratch is safe.
+	ctScratch   [][]byte
+	sealScratch [][]byte
 }
 
 // Config parameterises a coprocessor.
@@ -85,6 +90,7 @@ func NewCoprocessor(h *Host, cfg Config) (*Coprocessor, error) {
 	if mem <= 0 {
 		mem = 1 << 40
 	}
+	h.attached.Add(1)
 	return &Coprocessor{
 		host:   h,
 		sealer: s,
@@ -162,16 +168,20 @@ func (t *Coprocessor) Put(id RegionID, index int64, plaintext []byte) error {
 	return t.host.write(id, index, t.sealer.Seal(plaintext))
 }
 
-// RequestDisk asks H to persist cells [from, from+count) of a region.
+// RequestDisk asks H to persist cells [from, from+count) of a region. The
+// whole range is validated and traced under one lock acquisition per lock;
+// on an out-of-range cell the valid prefix is still traced and counted,
+// exactly as the old per-cell loop did.
 func (t *Coprocessor) RequestDisk(id RegionID, from, count int64) error {
-	for i := int64(0); i < count; i++ {
-		if err := t.host.diskWrite(id, from+i); err != nil {
-			return err
-		}
-		t.trace.Append(Event{Op: OpDisk, Region: id, Index: from + i})
-		t.stats.DiskRequests++
+	if count <= 0 {
+		return nil
 	}
-	return nil
+	valid, err := t.host.diskWriteRange(id, from, count)
+	for i := int64(0); i < valid; i++ {
+		t.trace.Append(Event{Op: OpDisk, Region: id, Index: from + i})
+	}
+	t.stats.DiskRequests += uint64(valid)
+	return err
 }
 
 // ChargeCompare records one fixed-time comparison.

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // RegionID identifies a named array of ciphertext cells in H's memory.
@@ -12,17 +13,39 @@ type RegionID int32
 // coprocessor access into the trace, and — in the malicious-adversary tests —
 // lets an attacker tamper with cells (which T must detect via authenticated
 // encryption, §3.3.1).
+//
+// Locking is sharded so P coprocessors scale: the region table (the regions
+// slice and the name index) is guarded by tableMu and is append-only, so
+// lookups take only a read lock; each region carries its own mutex guarding
+// its cells; the host trace has its own mutex and batched operations append
+// a whole batch of events under one acquisition. The host trace is the
+// adversary's view — with a single coprocessor attached it is the exact
+// ordered sequence (digest plus optional raw prefix); with several attached
+// the interleaving is nondeterministic, so the host degrades it to a
+// lock-free count-only sink and the per-device Coprocessor traces stay
+// authoritative for the privacy tests.
 type Host struct {
-	mu      sync.Mutex
+	tableMu sync.RWMutex
 	regions []*region
 	byName  map[string]RegionID
+
+	traceMu sync.Mutex
 	trace   *Trace
+
+	// attached counts coprocessors constructed against this host; past one,
+	// trace recording switches to the count-only fast path.
+	attached atomic.Int32
+
 	// diskWrites counts cells H persisted at T's request.
-	diskWrites uint64
+	diskWrites atomic.Uint64
 }
 
 type region struct {
-	name  string
+	name string
+	mu   sync.Mutex
+	// cells only grows, under mu. Cell slices are replaced wholesale on
+	// write, never mutated in place, so a reference obtained under mu stays
+	// valid after release.
 	cells [][]byte
 }
 
@@ -31,14 +54,52 @@ func NewHost(recordLimit int) *Host {
 	return &Host{byName: make(map[string]RegionID), trace: NewTrace(recordLimit)}
 }
 
-// Trace exposes the access sequence observed so far.
+// Trace exposes the access sequence observed so far. It must only be read
+// once the coprocessors are quiescent (tests do), as appends are concurrent.
 func (h *Host) Trace() *Trace { return h.trace }
+
+// regionFor resolves an id to its region under the table read lock.
+func (h *Host) regionFor(id RegionID) *region {
+	h.tableMu.RLock()
+	r := h.regions[id]
+	h.tableMu.RUnlock()
+	return r
+}
+
+// traceRange appends n contiguous events of one op under a single trace
+// lock acquisition (or folds them into the count-only sink when several
+// devices are attached).
+func (h *Host) traceRange(op Op, id RegionID, from, n int64) {
+	if n <= 0 {
+		return
+	}
+	if h.attached.Load() > 1 {
+		h.trace.SkipCount(uint64(n))
+		return
+	}
+	h.traceMu.Lock()
+	for i := int64(0); i < n; i++ {
+		h.trace.Append(Event{Op: op, Region: id, Index: from + i})
+	}
+	h.traceMu.Unlock()
+}
+
+// traceOne appends a single event.
+func (h *Host) traceOne(e Event) {
+	if h.attached.Load() > 1 {
+		h.trace.SkipCount(1)
+		return
+	}
+	h.traceMu.Lock()
+	h.trace.Append(e)
+	h.traceMu.Unlock()
+}
 
 // CreateRegion allocates a named region of n (initially nil) cells and
 // returns its id. Regions grow automatically when written past the end.
 func (h *Host) CreateRegion(name string, n int) (RegionID, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.tableMu.Lock()
+	defer h.tableMu.Unlock()
 	if _, dup := h.byName[name]; dup {
 		return 0, fmt.Errorf("sim: region %q already exists", name)
 	}
@@ -59,35 +120,35 @@ func (h *Host) MustCreateRegion(name string, n int) RegionID {
 
 // RegionLen returns the current number of cells in a region.
 func (h *Host) RegionLen(id RegionID) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.regions[id].cells)
+	r := h.regionFor(id)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
 }
 
 // RegionName returns the region's name.
 func (h *Host) RegionName(id RegionID) string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.regions[id].name
+	return h.regionFor(id).name
 }
 
 // Store writes ciphertext into a cell without tracing. It models data
 // arriving from outside T's access pattern: providers uploading their
 // encrypted relations before the join starts.
 func (h *Host) Store(id RegionID, index int64, ciphertext []byte) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.grow(id, index)
-	h.regions[id].cells[index] = ciphertext
+	r := h.regionFor(id)
+	r.mu.Lock()
+	r.grow(index)
+	r.cells[index] = ciphertext
+	r.mu.Unlock()
 }
 
 // Inspect returns the raw ciphertext of a cell without tracing: the
 // honest-but-curious adversary reading H's memory (§3.3.2). It returns nil
 // for never-written cells.
 func (h *Host) Inspect(id RegionID, index int64) []byte {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	r := h.regions[id]
+	r := h.regionFor(id)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if index < 0 || index >= int64(len(r.cells)) {
 		return nil
 	}
@@ -102,65 +163,312 @@ func (h *Host) Tamper(id RegionID, index int64, ciphertext []byte) {
 
 // DiskWrites reports how many cells H has persisted at T's request.
 func (h *Host) DiskWrites() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.diskWrites
+	return h.diskWrites.Load()
 }
 
 // read serves a traced coprocessor get.
 func (h *Host) read(id RegionID, index int64) ([]byte, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	r := h.regions[id]
+	r := h.regionFor(id)
+	r.mu.Lock()
 	if index < 0 || index >= int64(len(r.cells)) {
-		return nil, fmt.Errorf("sim: get %s[%d] out of range (len %d)", r.name, index, len(r.cells))
+		n := len(r.cells)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("sim: get %s[%d] out of range (len %d)", r.name, index, n)
 	}
-	h.trace.Append(Event{Op: OpGet, Region: id, Index: index})
 	c := r.cells[index]
+	r.mu.Unlock()
+	h.traceOne(Event{Op: OpGet, Region: id, Index: index})
 	if c == nil {
 		return nil, fmt.Errorf("sim: get %s[%d] of unwritten cell", r.name, index)
 	}
 	return c, nil
 }
 
+// readRange serves a traced get of cells [from, from+n), appending the
+// ciphertext references to dst. The region lock and the trace lock are each
+// taken once for the whole batch; the per-cell event sequence is identical
+// to n sequential reads. On error the events of the successfully served
+// prefix (and, for an unwritten cell, its own get) are still traced, exactly
+// as the sequential loop would have.
+func (h *Host) readRange(id RegionID, from, n int64, dst [][]byte) ([][]byte, error) {
+	r := h.regionFor(id)
+	r.mu.Lock()
+	var (
+		served int64
+		rerr   error
+		nilAt  = int64(-1)
+	)
+	for k := int64(0); k < n; k++ {
+		idx := from + k
+		if idx < 0 || idx >= int64(len(r.cells)) {
+			rerr = fmt.Errorf("sim: get %s[%d] out of range (len %d)", r.name, idx, len(r.cells))
+			break
+		}
+		c := r.cells[idx]
+		if c == nil {
+			nilAt = idx
+			rerr = fmt.Errorf("sim: get %s[%d] of unwritten cell", r.name, idx)
+			break
+		}
+		dst = append(dst, c)
+		served++
+	}
+	r.mu.Unlock()
+	traced := served
+	if nilAt >= 0 {
+		traced++ // the sequential loop traces the get before seeing the nil
+	}
+	h.traceRange(OpGet, id, from, traced)
+	return dst, rerr
+}
+
+// readBatch is readRange for arbitrary (not necessarily contiguous) indices.
+func (h *Host) readBatch(id RegionID, indices []int64, dst [][]byte) ([][]byte, error) {
+	r := h.regionFor(id)
+	r.mu.Lock()
+	var (
+		served int
+		rerr   error
+		nilHit bool
+	)
+	for _, idx := range indices {
+		if idx < 0 || idx >= int64(len(r.cells)) {
+			rerr = fmt.Errorf("sim: get %s[%d] out of range (len %d)", r.name, idx, len(r.cells))
+			break
+		}
+		c := r.cells[idx]
+		if c == nil {
+			nilHit = true
+			rerr = fmt.Errorf("sim: get %s[%d] of unwritten cell", r.name, idx)
+			break
+		}
+		dst = append(dst, c)
+		served++
+	}
+	r.mu.Unlock()
+	traced := served
+	if nilHit {
+		traced++
+	}
+	if h.attached.Load() > 1 {
+		h.trace.SkipCount(uint64(traced))
+		return dst, rerr
+	}
+	h.traceMu.Lock()
+	for _, idx := range indices[:traced] {
+		h.trace.Append(Event{Op: OpGet, Region: id, Index: idx})
+	}
+	h.traceMu.Unlock()
+	return dst, rerr
+}
+
 // write serves a traced coprocessor put.
 func (h *Host) write(id RegionID, index int64, ciphertext []byte) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	r := h.regionFor(id)
 	if index < 0 {
-		return fmt.Errorf("sim: put %s[%d] negative index", h.regions[id].name, index)
+		return fmt.Errorf("sim: put %s[%d] negative index", r.name, index)
 	}
-	h.grow(id, index)
-	h.trace.Append(Event{Op: OpPut, Region: id, Index: index})
-	h.regions[id].cells[index] = ciphertext
+	r.mu.Lock()
+	r.grow(index)
+	r.cells[index] = ciphertext
+	r.mu.Unlock()
+	h.traceOne(Event{Op: OpPut, Region: id, Index: index})
 	return nil
+}
+
+// writeRange serves a traced put of cells [from, from+n) in one region-lock
+// and one trace-lock acquisition. The event sequence matches n sequential
+// writes.
+func (h *Host) writeRange(id RegionID, from int64, cts [][]byte) error {
+	n := int64(len(cts))
+	if n == 0 {
+		return nil
+	}
+	r := h.regionFor(id)
+	if from < 0 {
+		return fmt.Errorf("sim: put %s[%d] negative index", r.name, from)
+	}
+	r.mu.Lock()
+	r.grow(from + n - 1)
+	copy(r.cells[from:], cts)
+	r.mu.Unlock()
+	h.traceRange(OpPut, id, from, n)
+	return nil
+}
+
+// writeBatch is writeRange for arbitrary indices.
+func (h *Host) writeBatch(id RegionID, indices []int64, cts [][]byte) error {
+	r := h.regionFor(id)
+	for _, idx := range indices {
+		if idx < 0 {
+			return fmt.Errorf("sim: put %s[%d] negative index", r.name, idx)
+		}
+	}
+	r.mu.Lock()
+	for k, idx := range indices {
+		r.grow(idx)
+		r.cells[idx] = cts[k]
+	}
+	r.mu.Unlock()
+	if h.attached.Load() > 1 {
+		h.trace.SkipCount(uint64(len(indices)))
+		return nil
+	}
+	h.traceMu.Lock()
+	for _, idx := range indices {
+		h.trace.Append(Event{Op: OpPut, Region: id, Index: idx})
+	}
+	h.traceMu.Unlock()
+	return nil
+}
+
+// transformRange serves a batched read-modify-write: for each k in [0, n) it
+// reads src[srcFrom+k], passes the ciphertext through fn, and writes the
+// result to dst[dstFrom+k]. The per-cell event sequence (get src, put dst,
+// interleaved) is identical to the sequential loop, but the region locks are
+// held once for the whole batch — fn therefore runs under the region
+// lock(s) and must not touch the host. Both regions are locked in RegionID
+// order so concurrent cross-region transforms cannot deadlock.
+//
+// It returns the number of completed get/put pairs and whether the failing
+// cell's get itself succeeded (true when fn failed after a good read), so
+// the caller can mirror the exact sequential per-device accounting.
+func (h *Host) transformRange(dst RegionID, dstFrom int64, src RegionID, srcFrom, n int64,
+	fn func(k int64, ct []byte) ([]byte, error)) (int64, bool, error) {
+	if n <= 0 {
+		return 0, false, nil
+	}
+	if dstFrom < 0 {
+		return 0, false, fmt.Errorf("sim: put %s[%d] negative index", h.RegionName(dst), dstFrom)
+	}
+	rs := h.regionFor(src)
+	rd := h.regionFor(dst)
+	// Lock in RegionID order; a self-transform locks once.
+	switch {
+	case src == dst:
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+	case src < dst:
+		rs.mu.Lock()
+		rd.mu.Lock()
+		defer rs.mu.Unlock()
+		defer rd.mu.Unlock()
+	default:
+		rd.mu.Lock()
+		rs.mu.Lock()
+		defer rd.mu.Unlock()
+		defer rs.mu.Unlock()
+	}
+	var (
+		done   int64 // completed get/put pairs
+		nilHit bool  // unwritten cell: host traces the get, the device must not
+		fnErr  bool  // fn (or open) failed after a good read: both trace the get
+		rerr   error
+	)
+	for k := int64(0); k < n; k++ {
+		si := srcFrom + k
+		if si < 0 || si >= int64(len(rs.cells)) {
+			rerr = fmt.Errorf("sim: get %s[%d] out of range (len %d)", rs.name, si, len(rs.cells))
+			break
+		}
+		c := rs.cells[si]
+		if c == nil {
+			nilHit = true
+			rerr = fmt.Errorf("sim: get %s[%d] of unwritten cell", rs.name, si)
+			break
+		}
+		out, err := fn(k, c)
+		if err != nil {
+			fnErr = true
+			rerr = err
+			break
+		}
+		rd.grow(dstFrom + k)
+		rd.cells[dstFrom+k] = out
+		done++
+	}
+	traced := uint64(2 * done)
+	if nilHit || fnErr {
+		traced++
+	}
+	if h.attached.Load() > 1 {
+		h.trace.SkipCount(traced)
+		return done, fnErr, rerr
+	}
+	h.traceMu.Lock()
+	for k := int64(0); k < done; k++ {
+		h.trace.Append(Event{Op: OpGet, Region: src, Index: srcFrom + k})
+		h.trace.Append(Event{Op: OpPut, Region: dst, Index: dstFrom + k})
+	}
+	if nilHit || fnErr {
+		h.trace.Append(Event{Op: OpGet, Region: src, Index: srcFrom + done})
+	}
+	h.traceMu.Unlock()
+	return done, fnErr, rerr
 }
 
 // diskWrite serves a traced request to persist a cell.
 func (h *Host) diskWrite(id RegionID, index int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	r := h.regions[id]
+	r := h.regionFor(id)
+	r.mu.Lock()
 	if index < 0 || index >= int64(len(r.cells)) {
+		r.mu.Unlock()
 		return fmt.Errorf("sim: disk write %s[%d] out of range", r.name, index)
 	}
-	h.trace.Append(Event{Op: OpDisk, Region: id, Index: index})
-	h.diskWrites++
+	r.mu.Unlock()
+	h.traceOne(Event{Op: OpDisk, Region: id, Index: index})
+	h.diskWrites.Add(1)
 	return nil
 }
 
-func (h *Host) grow(id RegionID, index int64) {
-	r := h.regions[id]
-	for int64(len(r.cells)) <= index {
-		r.cells = append(r.cells, nil)
+// diskWriteRange serves a traced request to persist cells [from, from+count)
+// in one lock acquisition per lock. It returns how many cells were valid
+// (the traced prefix) — on an out-of-range cell the prefix is still traced
+// and counted, exactly as the sequential loop would have.
+func (h *Host) diskWriteRange(id RegionID, from, count int64) (int64, error) {
+	r := h.regionFor(id)
+	r.mu.Lock()
+	length := int64(len(r.cells))
+	r.mu.Unlock()
+	valid := count
+	var rerr error
+	for k := int64(0); k < count; k++ {
+		if idx := from + k; idx < 0 || idx >= length {
+			valid = k
+			rerr = fmt.Errorf("sim: disk write %s[%d] out of range", r.name, idx)
+			break
+		}
 	}
+	h.traceRange(OpDisk, id, from, valid)
+	h.diskWrites.Add(uint64(valid))
+	return valid, rerr
+}
+
+// grow extends the region to cover index with a single capacity-doubling
+// allocation (never one append per cell). Caller holds r.mu.
+func (r *region) grow(index int64) {
+	if index < int64(len(r.cells)) {
+		return
+	}
+	need := index + 1
+	if need <= int64(cap(r.cells)) {
+		r.cells = r.cells[:need]
+		return
+	}
+	newCap := 2 * int64(cap(r.cells))
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([][]byte, need, newCap)
+	copy(grown, r.cells)
+	r.cells = grown
 }
 
 // FreshRegion creates a region with a unique name derived from prefix, for
 // algorithms that allocate scratch space without coordinating names.
 func (h *Host) FreshRegion(prefix string, n int) RegionID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.tableMu.Lock()
+	defer h.tableMu.Unlock()
 	name := prefix
 	for i := 2; ; i++ {
 		if _, dup := h.byName[name]; !dup {
@@ -179,17 +487,31 @@ func (h *Host) FreshRegion(prefix string, n int) RegionID {
 // host-local — the cells never transit T — but it is part of the observable
 // pattern and is traced as disk writes of the destination cells.
 func (h *Host) copyOut(dst RegionID, dstFrom int64, src RegionID, srcFrom, n int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := h.regions[src]
-	if srcFrom < 0 || srcFrom+n > int64(len(s.cells)) {
-		return fmt.Errorf("sim: copy out of %s[%d..%d) out of range", s.name, srcFrom, srcFrom+n)
+	rs := h.regionFor(src)
+	rd := h.regionFor(dst)
+	switch {
+	case src == dst:
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+	case src < dst:
+		rs.mu.Lock()
+		rd.mu.Lock()
+		defer rs.mu.Unlock()
+		defer rd.mu.Unlock()
+	default:
+		rd.mu.Lock()
+		rs.mu.Lock()
+		defer rd.mu.Unlock()
+		defer rs.mu.Unlock()
 	}
-	for i := int64(0); i < n; i++ {
-		h.grow(dst, dstFrom+i)
-		h.regions[dst].cells[dstFrom+i] = s.cells[srcFrom+i]
-		h.trace.Append(Event{Op: OpDisk, Region: dst, Index: dstFrom + i})
-		h.diskWrites++
+	if srcFrom < 0 || srcFrom+n > int64(len(rs.cells)) {
+		return fmt.Errorf("sim: copy out of %s[%d..%d) out of range", rs.name, srcFrom, srcFrom+n)
 	}
+	if n > 0 {
+		rd.grow(dstFrom + n - 1)
+		copy(rd.cells[dstFrom:], rs.cells[srcFrom:srcFrom+n])
+	}
+	h.traceRange(OpDisk, dst, dstFrom, n)
+	h.diskWrites.Add(uint64(n))
 	return nil
 }

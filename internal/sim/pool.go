@@ -1,0 +1,22 @@
+package sim
+
+import "sync"
+
+// bufPool recycles plaintext staging buffers for the batched transfer
+// paths (ScanRange, TransformRange): cells are opened into a pooled buffer,
+// consumed, and the buffer returned, so steady-state batched transfers
+// allocate nothing for plaintexts. Sealed ciphertexts destined for host
+// cells are retained by the host and can never be pooled.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

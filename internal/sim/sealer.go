@@ -15,10 +15,19 @@ import (
 // rely on (equal plaintexts sealed twice are indistinguishable) and must
 // detect any tampering on Open.
 type Sealer interface {
-	// Seal encrypts and authenticates a plaintext.
+	// Seal encrypts and authenticates a plaintext into a fresh buffer.
 	Seal(plaintext []byte) []byte
-	// Open verifies and decrypts a Seal output.
+	// SealTo appends the sealed plaintext to dst and returns the extended
+	// slice (append semantics, like crypto/cipher AEADs). When dst has
+	// sufficient capacity no allocation occurs, so steady-state sealing
+	// through a reused buffer is allocation-free.
+	SealTo(dst, plaintext []byte) []byte
+	// Open verifies and decrypts a Seal output into a fresh buffer.
 	Open(ciphertext []byte) ([]byte, error)
+	// OpenTo appends the verified plaintext to dst and returns the extended
+	// slice. As with SealTo, a reused dst makes steady-state opening
+	// allocation-free.
+	OpenTo(dst, ciphertext []byte) ([]byte, error)
 	// Overhead is the ciphertext expansion in bytes.
 	Overhead() int
 }
@@ -59,21 +68,32 @@ func NewRandomOCBSealer() (*OCBSealer, error) {
 
 // Seal implements Sealer.
 func (s *OCBSealer) Seal(plaintext []byte) []byte {
+	return s.SealTo(make([]byte, 0, ocb.NonceSize+len(plaintext)+ocb.TagSize), plaintext)
+}
+
+// SealTo implements Sealer. ocb.Mode.Seal is itself append-style, so the
+// whole path is allocation-free once dst has capacity for
+// nonce || ciphertext || tag.
+func (s *OCBSealer) SealTo(dst, plaintext []byte) []byte {
 	var nonce [ocb.NonceSize]byte
 	binary.BigEndian.PutUint64(nonce[8:], s.nonce.Add(1))
-	out := make([]byte, ocb.NonceSize, ocb.NonceSize+len(plaintext)+ocb.TagSize)
-	copy(out, nonce[:])
-	return s.mode.Seal(out, nonce, plaintext)
+	dst = append(dst, nonce[:]...)
+	return s.mode.Seal(dst, nonce, plaintext)
 }
 
 // Open implements Sealer.
 func (s *OCBSealer) Open(ciphertext []byte) ([]byte, error) {
+	return s.OpenTo(nil, ciphertext)
+}
+
+// OpenTo implements Sealer.
+func (s *OCBSealer) OpenTo(dst, ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) < ocb.NonceSize+ocb.TagSize {
 		return nil, fmt.Errorf("%w (short ciphertext)", ErrTamper)
 	}
 	var nonce [ocb.NonceSize]byte
 	copy(nonce[:], ciphertext[:ocb.NonceSize])
-	pt, err := s.mode.Open(nil, nonce, ciphertext[ocb.NonceSize:])
+	pt, err := s.mode.Open(dst, nonce, ciphertext[ocb.NonceSize:])
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTamper, err)
 	}
@@ -93,10 +113,13 @@ const plainMarker = 0x5A
 
 // Seal implements Sealer.
 func (PlainSealer) Seal(plaintext []byte) []byte {
-	out := make([]byte, 1+len(plaintext))
-	out[0] = plainMarker
-	copy(out[1:], plaintext)
-	return out
+	return PlainSealer{}.SealTo(make([]byte, 0, 1+len(plaintext)), plaintext)
+}
+
+// SealTo implements Sealer.
+func (PlainSealer) SealTo(dst, plaintext []byte) []byte {
+	dst = append(dst, plainMarker)
+	return append(dst, plaintext...)
 }
 
 // Open implements Sealer.
@@ -105,6 +128,14 @@ func (PlainSealer) Open(ciphertext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w (missing marker)", ErrTamper)
 	}
 	return ciphertext[1:], nil
+}
+
+// OpenTo implements Sealer.
+func (PlainSealer) OpenTo(dst, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 1 || ciphertext[0] != plainMarker {
+		return nil, fmt.Errorf("%w (missing marker)", ErrTamper)
+	}
+	return append(dst, ciphertext[1:]...), nil
 }
 
 // Overhead implements Sealer.

@@ -11,6 +11,7 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Op is the kind of a host-visible access.
@@ -56,10 +57,12 @@ func (e Event) String() string {
 // Trace accumulates the access sequence. To keep multi-hundred-million-event
 // runs cheap it maintains an order-sensitive FNV-1a digest and a count, and
 // optionally records a bounded prefix of raw events for the adversary's
-// fine-grained distinguishers.
+// fine-grained distinguishers. The count is atomic so a multi-device host
+// can fold accesses in without serialising on the digest (SkipCount); the
+// digest and raw events are only meaningful for single-writer traces.
 type Trace struct {
 	hash        uint64
-	count       uint64
+	count       atomic.Uint64
 	events      []Event
 	recordLimit int
 }
@@ -87,14 +90,20 @@ func (t *Trace) Append(e Event) {
 		h *= fnvPrime
 	}
 	t.hash = h
-	t.count++
+	t.count.Add(1)
 	if len(t.events) < t.recordLimit {
 		t.events = append(t.events, e)
 	}
 }
 
+// SkipCount counts n accesses without folding them into the digest. The
+// multi-device host uses it as a lock-free sink: with several coprocessors
+// attached the interleaved order is nondeterministic, so only the total is
+// meaningful (the per-device traces stay authoritative).
+func (t *Trace) SkipCount(n uint64) { t.count.Add(n) }
+
 // Count returns the number of recorded accesses.
-func (t *Trace) Count() uint64 { return t.count }
+func (t *Trace) Count() uint64 { return t.count.Load() }
 
 // Digest returns an order-sensitive digest of the full access sequence; two
 // traces with equal digests and counts are treated as identical sequences.
@@ -104,9 +113,9 @@ func (t *Trace) Digest() uint64 { return t.hash }
 func (t *Trace) Events() []Event { return t.events }
 
 // Truncated reports whether accesses beyond the record limit occurred.
-func (t *Trace) Truncated() bool { return t.count > uint64(len(t.events)) }
+func (t *Trace) Truncated() bool { return t.count.Load() > uint64(len(t.events)) }
 
 // Equal reports whether two traces describe the same access sequence.
 func (t *Trace) Equal(o *Trace) bool {
-	return t.count == o.count && t.hash == o.hash
+	return t.count.Load() == o.count.Load() && t.hash == o.hash
 }

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the full benchmark suite once and record the trajectory
+# artefact (BENCH_<n>.json). Each entry maps the benchmark name to its
+# ns/op, allocs/op and any custom metrics it reports (most benchmarks in
+# this repo report "transfers", the paper's cost unit: for the Parallel*
+# benchmarks it is the busiest device's measured transfer count, i.e. the
+# critical path that shrinks as P grows).
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_3.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -bench=. -benchtime=1x -benchmem . ./internal/server | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    line = ""
+    # $2 is the iteration count; value/unit pairs start at $3.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        key = ""
+        if (unit == "ns/op")      key = "ns_per_op"
+        else if (unit == "allocs/op") key = "allocs_per_op"
+        else if (unit == "B/op")  key = "bytes_per_op"
+        else if (unit ~ /^[A-Za-z]/) { key = unit; gsub(/[^A-Za-z0-9_]/, "_", key) }
+        if (key != "")
+            line = line (line == "" ? "" : ", ") "\"" key "\": " val
+    }
+    if (line != "") rows[++n] = "  \"" name "\": {" line "}"
+}
+END {
+    print "{"
+    for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+    print "}"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
