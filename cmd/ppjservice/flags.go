@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// options is the parsed and validated command line.
+type options struct {
+	addr    string
+	rows    int
+	workers int
+	queue   int
+	timeout time.Duration
+	dataDir string
+	devices int
+	shards  int
+	wal     bool
+}
+
+// parseFlags binds the flag set, parses args, and validates the result.
+// Split from main so the validation rules are unit-testable without
+// exec'ing the binary.
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:0", "listen address")
+	fs.IntVar(&o.rows, "rows", 20, "rows per provider")
+	fs.IntVar(&o.workers, "workers", 2, "coprocessor worker pool size P per shard")
+	fs.IntVar(&o.queue, "queue", 8, "ready-job queue depth per shard")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-job deadline")
+	fs.StringVar(&o.dataDir, "data-dir", "", "write-ahead job store root; empty keeps jobs in memory")
+	fs.IntVar(&o.devices, "devices-per-job", 1, "coprocessors attached per job; >1 enables intra-job parallel joins")
+	fs.IntVar(&o.shards, "shards", 1, "simulated hosts in the fleet; contracts are routed by consistent hashing")
+	fs.BoolVar(&o.wal, "wal", false, "require the durable write-ahead job store (needs -data-dir)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate rejects configurations the serving layer would otherwise accept
+// silently or fail on late: a fleet needs at least one shard, every job at
+// least one device, and asking for durability without saying where the WAL
+// lives is a misconfiguration, not an in-memory fallback.
+func (o *options) validate() error {
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", o.shards)
+	}
+	if o.devices < 1 {
+		return fmt.Errorf("-devices-per-job must be at least 1, got %d", o.devices)
+	}
+	if o.wal && o.dataDir == "" {
+		return fmt.Errorf("-wal requires -data-dir: a durable job store needs a directory to live in")
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) (*options, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("ppjservice", flag.ContinueOnError)
+	fs.SetOutput(discard{})
+	return parseFlags(fs, args)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shards != 1 || o.devices != 1 || o.wal {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.workers != 2 || o.queue != 8 || o.timeout != 30*time.Second {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsValid(t *testing.T) {
+	o, err := parse(t, "-shards", "3", "-devices-per-job", "2", "-wal", "-data-dir", "/tmp/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.shards != 3 || o.devices != 2 || !o.wal || o.dataDir != "/tmp/x" {
+		t.Fatalf("parsed: %+v", o)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero shards", []string{"-shards", "0"}, "-shards"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards"},
+		{"zero devices", []string{"-devices-per-job", "0"}, "-devices-per-job"},
+		{"negative devices", []string{"-devices-per-job", "-1"}, "-devices-per-job"},
+		{"wal without data-dir", []string{"-wal"}, "-wal requires -data-dir"},
+		{"wal with shards without data-dir", []string{"-shards", "2", "-wal"}, "-wal requires -data-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parse(t, tc.args...); err == nil {
+				t.Fatalf("args %v accepted, want rejection", tc.args)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

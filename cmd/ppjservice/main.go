@@ -1,44 +1,52 @@
 // Command ppjservice demonstrates the serving layer over real TCP
-// connections on localhost: one multi-tenant join server (a single attested
-// device arbitrating several co-signed contracts), a bounded worker pool of
-// simulated coprocessors, and N concurrent client groups — each a pair of
-// data owners plus a result recipient — all driving one listener. Sessions
-// are routed to their contract by the hello's contract ID; the server's
-// job scheduler runs the contracts over the pool and the admin metrics
-// snapshot is printed at the end.
+// connections on localhost: a fleet of simulated hosts (each a full join
+// server with its own attested device and bounded worker pool of simulated
+// coprocessors) behind one shard router, and N concurrent client groups —
+// each a pair of data owners plus a result recipient — all driving one
+// listener. Contracts are placed on shards by consistent hashing on the
+// contract ID; sessions are routed to the shard that admitted their
+// contract, and the fleet-wide admin metrics snapshot (per-shard plus
+// aggregate) is printed at the end.
 //
 // Usage:
 //
-//	ppjservice [-addr 127.0.0.1:0] [-rows 20] [-workers 2] [-queue 8] [-timeout 30s] [-data-dir DIR]
+//	ppjservice [-addr 127.0.0.1:0] [-rows 20] [-shards 1] [-workers 2]
+//	           [-queue 8] [-timeout 30s] [-data-dir DIR] [-wal]
 //
 // The process plays every party (each over its own TCP connection) so the
 // demo is self-contained; the client and server code paths are exactly the
 // library's, and would run unchanged across machines.
 //
-// With -data-dir the server keeps a write-ahead job store there: rerunning
-// the demo against the same directory first replays the previous run's
-// log, printing the recovered job table (a crash mid-run leaves Uploading
-// or Running jobs, which recovery fails deterministically with
-// server.ErrInterrupted). Contract IDs gain a per-run nonce in this mode
-// because recovered registrations are durable and contract IDs are
-// single-use.
+// With -data-dir each shard keeps a write-ahead job store under
+// DIR/shard-<i>/: rerunning the demo against the same directory first
+// replays every shard's log, printing the recovered job table (a crash
+// mid-run leaves Uploading or Running jobs, which recovery fails
+// deterministically with server.ErrInterrupted — per shard, so one torn
+// log never touches another shard's jobs). Contract IDs gain a per-run
+// nonce in this mode because recovered registrations are durable and
+// contract IDs are single-use. -wal asserts the store is actually
+// requested: it is rejected without -data-dir instead of silently running
+// in memory.
 package main
 
 import (
 	"context"
+	"crypto/ed25519"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
+	"ppj/internal/fleet"
 	"ppj/internal/relation"
 	"ppj/internal/server"
 	"ppj/internal/service"
 )
 
-// contractSpec describes one tenant of the demo server.
+// contractSpec describes one tenant of the demo fleet.
 type contractSpec struct {
 	id        string
 	algorithm string
@@ -47,16 +55,8 @@ type contractSpec struct {
 }
 
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:0", "listen address")
-		rows    = flag.Int("rows", 20, "rows per provider")
-		workers = flag.Int("workers", 2, "coprocessor worker pool size P")
-		queue   = flag.Int("queue", 8, "ready-job queue depth")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-job deadline")
-		dataDir = flag.String("data-dir", "", "write-ahead job store directory; empty keeps jobs in memory")
-		devices = flag.Int("devices-per-job", 1, "coprocessors attached per job; >1 enables intra-job parallel joins")
-	)
-	flag.Parse()
+	o, err := parseFlags(flag.NewFlagSet("ppjservice", flag.ExitOnError), os.Args[1:])
+	check(err)
 
 	specs := []contractSpec{
 		{id: "watchlist-equijoin", algorithm: "alg3", parties: [3]string{"airline", "agency", "analyst"}},
@@ -66,21 +66,29 @@ func main() {
 			aggregate: service.AggregateSpec{Kind: "count"}},
 	}
 
-	srv, err := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
+	rt, err := fleet.New(fleet.Config{Config: server.Config{
+		Shards:        o.shards,
+		Workers:       o.workers,
+		QueueDepth:    o.queue,
 		Memory:        64,
-		DevicesPerJob: *devices,
-		JobTimeout:    *timeout,
+		DevicesPerJob: o.devices,
+		JobTimeout:    o.timeout,
 		Logf:          log.Printf,
-		DataDir:       *dataDir,
-	})
+		DataDir:       o.dataDir,
+	}})
 	check(err)
-	fmt.Printf("join server up: worker pool P=%d, queue depth %d, device key %x...\n",
-		*workers, *queue, srv.Device().DeviceKey()[:8])
-	if *dataDir != "" {
-		if jobs := srv.Registry().Jobs(); len(jobs) > 0 {
-			fmt.Printf("recovered %d jobs from WAL at %s:\n", len(jobs), *dataDir)
+	fmt.Printf("join fleet up: %d shard(s), worker pool P=%d and queue depth %d each\n",
+		rt.NumShards(), o.workers, o.queue)
+	for i := 0; i < rt.NumShards(); i++ {
+		fmt.Printf("  shard %d device key %x...\n", i, rt.Shard(i).Device().DeviceKey()[:8])
+	}
+	if o.dataDir != "" {
+		for i := 0; i < rt.NumShards(); i++ {
+			jobs := rt.Shard(i).Registry().Jobs()
+			if len(jobs) == 0 {
+				continue
+			}
+			fmt.Printf("shard %d recovered %d jobs from its WAL:\n", i, len(jobs))
 			for _, j := range jobs {
 				if err := j.Err(); err != nil {
 					fmt.Printf("  %-36s %-10s %v\n", j.Contract().ID, j.State(), err)
@@ -102,13 +110,17 @@ func main() {
 		fmt.Printf("  %-9s %-16s %x...\n", img.Layer, img.Name, d[:8])
 	}
 
-	// Each tenant group: identities, a co-signed contract, input relations.
+	// Each tenant group: identities, a co-signed contract, input relations,
+	// and — once registered — the device key of the shard that admitted it
+	// (clients attest the device they will actually talk to).
 	type tenant struct {
 		spec       contractSpec
 		contract   *service.Contract
 		keys       [3]keypair
 		relA, relB *relation.Relation
 		job        *server.Job
+		shard      int
+		deviceKey  ed25519.PublicKey
 	}
 	tenants := make([]*tenant, len(specs))
 	for i, spec := range specs {
@@ -132,18 +144,22 @@ func main() {
 		}
 		tn.contract.Sign(0, tn.keys[0].priv)
 		tn.contract.Sign(1, tn.keys[1].priv)
-		tn.relA = relation.GenKeyed(relation.NewRand(uint64(2*i+1)), *rows, 10)
-		tn.relB = relation.GenKeyed(relation.NewRand(uint64(2*i+2)), *rows+5, 10)
-		tn.job, err = srv.Register(tn.contract)
+		tn.relA = relation.GenKeyed(relation.NewRand(uint64(2*i+1)), o.rows, 10)
+		tn.relB = relation.GenKeyed(relation.NewRand(uint64(2*i+2)), o.rows+5, 10)
+		tn.job, err = rt.Register(tn.contract)
 		check(err)
+		var sh *server.Server
+		tn.shard, sh, err = rt.ShardFor(tn.contract.ID)
+		check(err)
+		tn.deviceKey = sh.Device().DeviceKey()
 		tenants[i] = tn
 	}
-	fmt.Printf("\nregistered %d contracts on one listener\n", len(tenants))
+	fmt.Printf("\nregistered %d contracts across %d shard(s) on one listener\n", len(tenants), rt.NumShards())
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", o.addr)
 	check(err)
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ln) }()
+	go func() { serveDone <- rt.Serve(ln) }()
 	fmt.Printf("listening on %s\n\n", ln.Addr())
 
 	// Drive every client group concurrently against the one listener.
@@ -157,7 +173,7 @@ func main() {
 				return &service.Client{
 					Name:      name,
 					Identity:  tn.keys[k].priv,
-					DeviceKey: srv.Device().DeviceKey(),
+					DeviceKey: tn.deviceKey,
 					Expected:  service.ExpectedStack(),
 				}
 			}
@@ -185,23 +201,21 @@ func main() {
 
 			eq, _ := relation.NewEqui(tn.relA.Schema, "key", tn.relB.Schema, "key")
 			want := relation.ReferenceJoin(tn.relA, tn.relB, eq)
-			outMu.Lock()
 			if tn.spec.algorithm == "aggregate" {
-				outMu.Unlock()
 				agg, err := cs.ReceiveAggregate()
 				check(err)
 				outMu.Lock()
-				fmt.Printf("%-22s %-9s -> %s received COUNT = %d (reference %d)\n",
-					tn.spec.id, tn.spec.algorithm, tn.spec.parties[2], agg.Count, want.Len())
-			} else {
+				fmt.Printf("%-22s %-9s shard %d -> %s received COUNT = %d (reference %d)\n",
+					tn.spec.id, tn.spec.algorithm, tn.shard, tn.spec.parties[2], agg.Count, want.Len())
 				outMu.Unlock()
+			} else {
 				result, err := cs.ReceiveResult()
 				check(err)
 				outMu.Lock()
-				fmt.Printf("%-22s %-9s -> %s received %d join rows (reference %d)\n",
-					tn.spec.id, tn.spec.algorithm, tn.spec.parties[2], result.Len(), want.Len())
+				fmt.Printf("%-22s %-9s shard %d -> %s received %d join rows (reference %d)\n",
+					tn.spec.id, tn.spec.algorithm, tn.shard, tn.spec.parties[2], result.Len(), want.Len())
+				outMu.Unlock()
 			}
-			outMu.Unlock()
 			inner.Wait()
 		}(tn)
 	}
@@ -215,14 +229,14 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	check(srv.Shutdown(ctx))
+	check(rt.Shutdown(ctx))
 	ln.Close()
 	check(<-serveDone)
 
-	snap := srv.MetricsSnapshot()
+	snap := rt.MetricsSnapshot()
 	js, err := snap.JSON()
 	check(err)
-	fmt.Printf("\nadmin metrics snapshot after drain:\n%s\n", js)
+	fmt.Printf("\nfleet metrics snapshot after drain:\n%s\n", js)
 }
 
 type keypair struct {

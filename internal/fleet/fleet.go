@@ -1,0 +1,278 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ppj/internal/server"
+	"ppj/internal/server/wal"
+	"ppj/internal/service"
+)
+
+// Config parameterises a Router. The embedded server.Config is the
+// per-shard template: Config.Shards picks the fleet width, DataDir names
+// the fleet root (shard i keeps its WAL under DataDir/shard-<i>/), and
+// every other field applies to each shard verbatim. AdmissionControl is
+// forced on per shard — it is the mechanism spillover rides on.
+type Config struct {
+	server.Config
+	// Replicas is the number of virtual nodes per shard on the consistent-
+	// hash ring. Defaults to DefaultReplicas.
+	Replicas int
+	// ShardFaults, when set, gives shard i its own fault registry (tests
+	// only): the partial-fleet crash suite seals one shard's WAL while the
+	// others run clean. Nil shards fall back to Config.Faults.
+	ShardFaults func(shard int) *wal.Faults
+}
+
+// Router is the multi-host fleet: N shards behind one dispatch surface.
+// Contracts are placed by consistent hashing on their ID; sessions are
+// routed to the shard that admitted their contract (which, after a
+// spillover, may differ from the ring owner — the directory, not the ring,
+// is the routing authority).
+type Router struct {
+	cfg    Config
+	shards []*server.Server
+	ring   *Ring
+
+	mu  sync.RWMutex
+	dir map[string]int // contract ID -> admitting shard
+
+	spills       atomic.Uint64
+	shuttingDown atomic.Bool
+}
+
+// New builds the fleet: cfg.Shards servers (at least 1), each booted with
+// its own device and — when DataDir is set — recovered independently from
+// its own WAL directory, so one shard's torn log fails only that shard's
+// interrupted jobs while the rest of the fleet comes back clean. Recovered
+// contracts are re-entered into the routing directory on whichever shard
+// recovered them.
+func New(cfg Config) (*Router, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	r := &Router{cfg: cfg, ring: NewRing(n, cfg.Replicas), dir: make(map[string]int)}
+	for i := 0; i < n; i++ {
+		scfg := cfg.Config
+		scfg.Shards = 0 // each server is exactly one shard
+		scfg.AdmissionControl = true
+		if cfg.DataDir != "" {
+			scfg.DataDir = filepath.Join(cfg.DataDir, "shard-"+strconv.Itoa(i))
+		}
+		if cfg.ShardFaults != nil {
+			if f := cfg.ShardFaults(i); f != nil {
+				scfg.Faults = f
+			}
+		}
+		sh, err := server.New(scfg)
+		if err != nil {
+			r.closeShards()
+			return nil, fmt.Errorf("fleet: booting shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, sh)
+		for _, j := range sh.Registry().Jobs() {
+			id := j.Contract().ID
+			if prev, dup := r.dir[id]; dup {
+				r.closeShards()
+				return nil, fmt.Errorf("fleet: contract %q recovered on shards %d and %d", id, prev, i)
+			}
+			r.dir[id] = i
+		}
+	}
+	return r, nil
+}
+
+// closeShards releases every shard booted so far (WAL descriptors and dir
+// locks included) after a failed New.
+func (r *Router) closeShards() {
+	for _, sh := range r.shards {
+		_ = sh.Shutdown(context.Background())
+	}
+}
+
+// NumShards returns the fleet width.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard exposes shard i (admin, tests).
+func (r *Router) Shard(i int) *server.Server { return r.shards[i] }
+
+// Owner returns the ring owner of a contract ID — where a registration is
+// placed before any spillover.
+func (r *Router) Owner(id string) int { return r.ring.Owner(id) }
+
+// ShardFor resolves a registered contract to its admitting shard.
+func (r *Router) ShardFor(id string) (int, *server.Server, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.dir[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %q", server.ErrUnknownContract, id)
+	}
+	return i, r.shards[i], nil
+}
+
+// Register admits a contract on the shard owning its ID. If that shard
+// refuses with ErrQueueFull (registration-time backpressure), the contract
+// spills to the least-loaded shard with queue headroom; only when every
+// shard is full does the tenant see the backpressure error. The directory
+// entry is reserved before the shard admission runs, so two racing
+// registrations of one ID cannot land on different shards.
+func (r *Router) Register(c *service.Contract) (*server.Job, error) {
+	if r.shuttingDown.Load() {
+		return nil, server.ErrShuttingDown
+	}
+	primary := r.ring.Owner(c.ID)
+	r.mu.Lock()
+	if _, dup := r.dir[c.ID]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("fleet: contract %q already registered", c.ID)
+	}
+	r.dir[c.ID] = primary // reservation: rolled back if no shard admits
+	r.mu.Unlock()
+
+	j, err := r.shards[primary].Register(c)
+	if err != nil && errors.Is(err, server.ErrQueueFull) {
+		if spill, ok := r.leastLoaded(primary); ok {
+			if js, errs := r.shards[spill].Register(c); errs == nil {
+				r.mu.Lock()
+				r.dir[c.ID] = spill
+				r.mu.Unlock()
+				r.spills.Add(1)
+				return js, nil
+			} else {
+				err = fmt.Errorf("fleet: shard %d full, spill to shard %d failed: %w", primary, spill, errs)
+			}
+		}
+	}
+	if err != nil {
+		r.mu.Lock()
+		delete(r.dir, c.ID)
+		r.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// leastLoaded picks the spill target: the shard (other than skip) with
+// queue headroom and the smallest load, ties broken by index so the choice
+// is deterministic. ok is false when the whole fleet is saturated.
+func (r *Router) leastLoaded(skip int) (shard int, ok bool) {
+	var best server.Load
+	for i, sh := range r.shards {
+		if i == skip {
+			continue
+		}
+		l := sh.Load()
+		if l.QueueDepth >= l.QueueCap {
+			continue
+		}
+		if !ok || l.Less(best) {
+			shard, best, ok = i, l, true
+		}
+	}
+	return shard, ok
+}
+
+// HandleConn serves one connection end to end: it reads the hello, resolves
+// the contract to its admitting shard through the directory, and hands the
+// open session to that shard. An empty contract ID is accepted only when
+// exactly one contract is registered fleet-wide, mirroring the registry's
+// single-contract fallback.
+func (r *Router) HandleConn(conn io.ReadWriter) error {
+	sess, hello, err := service.ReadHello(conn)
+	if err != nil {
+		return err
+	}
+	sh, err := r.route(hello.ContractID)
+	if err != nil {
+		return err
+	}
+	return sh.HandleSession(sess, hello)
+}
+
+// route maps a hello's contract ID to the shard serving it.
+func (r *Router) route(id string) (*server.Server, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id == "" {
+		switch len(r.dir) {
+		case 1:
+			for _, i := range r.dir {
+				return r.shards[i], nil
+			}
+		case 0:
+			return nil, fmt.Errorf("%w: hello names no contract and none are registered", server.ErrUnknownContract)
+		}
+		return nil, fmt.Errorf("%w; %d are registered across the fleet", server.ErrAmbiguousContract, len(r.dir))
+	}
+	i, ok := r.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", server.ErrUnknownContract, id)
+	}
+	return r.shards[i], nil
+}
+
+// Start launches every shard's worker pool.
+func (r *Router) Start() {
+	for _, sh := range r.shards {
+		sh.Start()
+	}
+}
+
+// Serve accepts connections from ln until it closes, routing each in its
+// own goroutine. Accept errors after Shutdown are reported as a clean exit.
+func (r *Router) Serve(ln net.Listener) error {
+	r.Start()
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.shuttingDown.Load() {
+				return nil
+			}
+			return err
+		}
+		conns.Add(1)
+		go func(conn net.Conn) {
+			defer conns.Done()
+			defer conn.Close()
+			if err := r.HandleConn(conn); err != nil {
+				r.logf("fleet: %v", err)
+			}
+		}(conn)
+	}
+}
+
+// Shutdown drains every shard concurrently, with each shard's own graceful
+// semantics (queued and gathering jobs fail with ErrShuttingDown, in-flight
+// jobs run out, stores close). The first error per shard is joined.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.shuttingDown.Store(true)
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh *server.Server) {
+			defer wg.Done()
+			errs[i] = sh.Shutdown(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"ppj/internal/relation"
+	"ppj/internal/server"
+	"ppj/internal/service"
+)
+
+// runTCP drives a whole client group against a fleet address: two provider
+// uploads and one recipient receive, all concurrent, pinned to the admitting
+// shard's device key.
+func runTCP(t *testing.T, g *group, addr string, deviceKey ed25519.PublicKey) (*relation.Relation, error) {
+	t.Helper()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		result  *relation.Relation
+		firstEr error
+	)
+	record := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstEr == nil {
+			firstEr = err
+		}
+	}
+	provide := func(p testParty, rel *relation.Relation) {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			record(err)
+			return
+		}
+		defer conn.Close()
+		cs, err := g.client(p, deviceKey).ConnectContract(conn, service.RoleProvider, g.contract.ID)
+		if err == nil {
+			err = cs.SubmitRelation(g.contract.ID, rel)
+		}
+		record(err)
+	}
+	wg.Add(3)
+	go provide(g.provA, g.relA)
+	go provide(g.provB, g.relB)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			record(err)
+			return
+		}
+		defer conn.Close()
+		cs, err := g.client(g.recip, deviceKey).ConnectContract(conn, service.RoleRecipient, g.contract.ID)
+		if err != nil {
+			record(err)
+			return
+		}
+		res, err := cs.ReceiveResult()
+		mu.Lock()
+		result = res
+		mu.Unlock()
+		record(err)
+	}()
+	wg.Wait()
+	return result, firstEr
+}
+
+// TestFleetEndToEndTCP is the sharded acceptance scenario: a three-shard
+// fleet behind one listener, one contract pinned to each shard plus a
+// fourth landing wherever the ring puts it, all driven concurrently over
+// TCP. Every recipient gets the reference join from its own shard's device,
+// no registration spills, and the fleet snapshot is consistent with the
+// per-shard ones.
+func TestFleetEndToEndTCP(t *testing.T) {
+	rt, err := New(Config{Config: server.Config{Shards: 3, Workers: 1, QueueDepth: 8, Memory: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", rt.NumShards())
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- rt.Serve(ln) }()
+
+	algs := []string{"alg3", "alg5", "auto"}
+	groups := make([]*group, 0, 4)
+	for i := 0; i < 3; i++ {
+		id := idOwnedBy(t, rt.ring, i, "e2e")
+		groups = append(groups, newGroup(t, id, algs[i], uint64(2*i+1), uint64(2*i+2), 8+i, 9+i))
+	}
+	groups = append(groups, newGroup(t, "e2e-extra", "alg3", 11, 12, 7, 7))
+
+	jobs := make([]*server.Job, len(groups))
+	keys := make([]ed25519.PublicKey, len(groups))
+	for i, g := range groups {
+		jobs[i], err = rt.Register(g.contract)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, sh, err := rt.ShardFor(g.contract.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := rt.Owner(g.contract.ID); shard != want {
+			t.Fatalf("contract %q admitted on shard %d, ring owner is %d (no spill expected)", g.contract.ID, shard, want)
+		}
+		keys[i] = sh.Device().DeviceKey()
+	}
+
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			result, err := runTCP(t, g, ln.Addr().String(), keys[i])
+			if err != nil {
+				t.Errorf("%s: %v", g.contract.ID, err)
+				return
+			}
+			assertSameRows(t, result, g.wantJoin(), g.contract.ID)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		waitDone(t, j)
+		if j.State() != server.StateDelivered {
+			t.Errorf("%s: state %s, want delivered", groups[i].contract.ID, j.State())
+		}
+	}
+
+	snap := rt.MetricsSnapshot()
+	if snap.Fleet.Submitted != uint64(len(groups)) {
+		t.Errorf("fleet submitted = %d, want %d", snap.Fleet.Submitted, len(groups))
+	}
+	if snap.Spills != 0 {
+		t.Errorf("spills = %d, want 0", snap.Spills)
+	}
+	if snap.Fleet.Jobs["delivered"] != int64(len(groups)) {
+		t.Errorf("fleet delivered gauge = %d, want %d", snap.Fleet.Jobs["delivered"], len(groups))
+	}
+	var perShardSubmitted uint64
+	for _, ps := range snap.PerShard {
+		perShardSubmitted += ps.Submitted
+		var gauges int64
+		for _, n := range ps.Jobs {
+			gauges += n
+		}
+		if uint64(gauges) != ps.Submitted {
+			t.Errorf("shard %d: state gauges sum to %d, submitted %d", ps.Shard, gauges, ps.Submitted)
+		}
+		if ps.Submitted == 0 {
+			t.Errorf("shard %d served no jobs; want every shard loaded", ps.Shard)
+		}
+	}
+	if perShardSubmitted != snap.Fleet.Submitted {
+		t.Errorf("per-shard submitted sums to %d, fleet says %d", perShardSubmitted, snap.Fleet.Submitted)
+	}
+
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestSpilloverOnFullShard pins the relief valve end to end: a full ring
+// owner refuses at registration time (side-effect free), the contract is
+// admitted by the shard with headroom, sessions follow the directory to the
+// admitting shard, and — once the whole fleet is saturated — the tenant
+// finally sees ErrQueueFull with the failed reservation rolled back. The
+// per-shard gauge invariant (sum of state gauges == submitted) must hold
+// throughout: a spilled registration leaves no trace on the shard that
+// refused it.
+func TestSpilloverOnFullShard(t *testing.T) {
+	// Workers are not started until the spill assertions are done, so
+	// uploaded jobs park in the ready queue and hold it at capacity.
+	rt, err := New(Config{Config: server.Config{Shards: 2, Workers: 1, QueueDepth: 1, Memory: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown(context.Background())
+
+	// Fill shard 0: one contract it owns, fully ready (both uploads in and
+	// the recipient parked) so the job sits in the queue.
+	g1 := newGroupRels(t, idOwnedBy(t, rt.ring, 0, "fill"), "alg3",
+		relation.GenKeyed(relation.NewRand(21), 6, 5), relation.GenKeyed(relation.NewRand(22), 6, 5))
+	j1, err := rt.Register(g1.contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key0 := rt.Shard(0).Device().DeviceKey()
+	if err := g1.pipeProvider(rt.HandleConn, key0, g1.provA, g1.relA); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.pipeProvider(rt.HandleConn, key0, g1.provB, g1.relB); err != nil {
+		t.Fatal(err)
+	}
+	out1 := g1.pipeRecipient(rt.HandleConn, key0)
+	waitQueueFull(t, rt.Shard(0))
+
+	// A second contract owned by shard 0 must spill to shard 1.
+	g2 := newGroupRels(t, idOwnedBy(t, rt.ring, 0, "spill"), "alg3",
+		relation.GenKeyed(relation.NewRand(23), 5, 5), relation.GenKeyed(relation.NewRand(24), 7, 5))
+	j2, err := rt.Register(g2.contract)
+	if err != nil {
+		t.Fatalf("spillover registration failed: %v", err)
+	}
+	if rt.Owner(g2.contract.ID) != 0 {
+		t.Fatalf("test setup: %q should be owned by shard 0", g2.contract.ID)
+	}
+	shard, _, err := rt.ShardFor(g2.contract.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 1 {
+		t.Fatalf("spilled contract admitted on shard %d, want 1", shard)
+	}
+	if s := rt.MetricsSnapshot(); s.Spills != 1 {
+		t.Fatalf("spills = %d, want 1", s.Spills)
+	}
+
+	// Saturate shard 1 too, then a third registration must surface
+	// ErrQueueFull to the tenant.
+	key1 := rt.Shard(1).Device().DeviceKey()
+	if err := g2.pipeProvider(rt.HandleConn, key1, g2.provA, g2.relA); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.pipeProvider(rt.HandleConn, key1, g2.provB, g2.relB); err != nil {
+		t.Fatal(err)
+	}
+	out2 := g2.pipeRecipient(rt.HandleConn, key1)
+	waitQueueFull(t, rt.Shard(1))
+	g3 := newGroupRels(t, idOwnedBy(t, rt.ring, 0, "reject"), "alg3",
+		relation.GenKeyed(relation.NewRand(25), 4, 5), relation.GenKeyed(relation.NewRand(26), 4, 5))
+	if _, err := rt.Register(g3.contract); !errors.Is(err, server.ErrQueueFull) {
+		t.Fatalf("fleet-wide saturation: got %v, want ErrQueueFull", err)
+	}
+	if _, _, err := rt.ShardFor(g3.contract.ID); !errors.Is(err, server.ErrUnknownContract) {
+		t.Fatalf("failed registration left a directory entry: %v", err)
+	}
+
+	// Gauge invariant across the spill, before anything runs.
+	for _, ps := range rt.MetricsSnapshot().PerShard {
+		var gauges int64
+		for _, n := range ps.Jobs {
+			gauges += n
+		}
+		if uint64(gauges) != ps.Submitted || ps.Submitted != 1 {
+			t.Errorf("shard %d: gauges %d, submitted %d; want both 1", ps.Shard, gauges, ps.Submitted)
+		}
+	}
+
+	// Drain: start workers, deliver both jobs, and re-register the refused
+	// contract — the rolled-back reservation must not block it.
+	rt.Start()
+	waitDone(t, j1)
+	waitDone(t, j2)
+	if o := <-out1; o.err != nil {
+		t.Fatal(o.err)
+	} else {
+		assertSameRows(t, o.result, g1.wantJoin(), g1.contract.ID)
+	}
+	if o := <-out2; o.err != nil {
+		t.Fatal(o.err)
+	} else {
+		assertSameRows(t, o.result, g2.wantJoin(), g2.contract.ID)
+	}
+	j3, err := rt.Register(g3.contract)
+	if err != nil {
+		t.Fatalf("re-registration after rollback: %v", err)
+	}
+	driveToDelivered(t, rt.HandleConn, key0, g3, j3)
+
+	snap := rt.MetricsSnapshot()
+	if snap.Fleet.Submitted != 3 || snap.Fleet.Jobs["delivered"] != 3 {
+		t.Errorf("fleet submitted %d delivered %d, want 3 and 3", snap.Fleet.Submitted, snap.Fleet.Jobs["delivered"])
+	}
+	if snap.Spills != 1 {
+		t.Errorf("spills = %d, want 1", snap.Spills)
+	}
+}

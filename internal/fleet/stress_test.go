@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ppj/internal/relation"
+	"ppj/internal/server"
+)
+
+// TestFleetConcurrentStress hammers a two-shard fleet from three sides at
+// once — tenants registering contracts through the router, whole jobs
+// running end to end on both shards, and a metrics poller reading fleet
+// snapshots throughout — and checks the final books balance. Its real
+// teeth are under -race (CI runs the package that way): the router
+// directory, the spill path, and the cross-shard snapshot aggregation are
+// all exercised while racing.
+func TestFleetConcurrentStress(t *testing.T) {
+	rt, err := New(Config{Config: server.Config{Shards: 2, Workers: 2, QueueDepth: 32, Memory: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown(context.Background())
+	rt.Start()
+
+	const jobs = 12
+	algs := []string{"alg3", "alg5", "auto"}
+	groups := make([]*group, jobs)
+	for i := range groups {
+		groups[i] = newGroup(t, fmt.Sprintf("stress-%d", i), algs[i%len(algs)],
+			uint64(100+2*i), uint64(101+2*i), 6+i%3, 7+i%2)
+	}
+
+	// Metrics poller: reads fleet snapshots concurrently with everything
+	// else and checks the monotonic/consistency properties that must hold
+	// mid-flight.
+	pollDone := make(chan struct{})
+	stopPoll := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		var lastSubmitted uint64
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			snap := rt.MetricsSnapshot()
+			if snap.Fleet.Submitted < lastSubmitted {
+				t.Errorf("fleet submitted went backwards: %d -> %d", lastSubmitted, snap.Fleet.Submitted)
+				return
+			}
+			lastSubmitted = snap.Fleet.Submitted
+			if len(snap.PerShard) != 2 {
+				t.Errorf("snapshot has %d shards, want 2", len(snap.PerShard))
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	errCh := make(chan error, jobs)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			errCh <- driveOne(rt, g)
+		}(g)
+	}
+	wg.Wait()
+	close(stopPoll)
+	<-pollDone
+	for i := 0; i < jobs; i++ {
+		if err := <-errCh; err != nil {
+			t.Error(err)
+		}
+	}
+
+	snap := rt.MetricsSnapshot()
+	if snap.Fleet.Submitted != jobs {
+		t.Errorf("fleet submitted = %d, want %d", snap.Fleet.Submitted, jobs)
+	}
+	if snap.Fleet.Jobs["delivered"] != jobs {
+		t.Errorf("fleet delivered = %d, want %d", snap.Fleet.Jobs["delivered"], jobs)
+	}
+	var perShard uint64
+	for _, ps := range snap.PerShard {
+		perShard += ps.Submitted
+		var gauges int64
+		for _, n := range ps.Jobs {
+			gauges += n
+		}
+		if uint64(gauges) != ps.Submitted {
+			t.Errorf("shard %d: gauges sum %d, submitted %d", ps.Shard, gauges, ps.Submitted)
+		}
+	}
+	if perShard != snap.Fleet.Submitted {
+		t.Errorf("per-shard submitted sums to %d, fleet says %d", perShard, snap.Fleet.Submitted)
+	}
+}
+
+// driveOne registers and runs one group end to end against the router,
+// error-returning throughout so it is safe off the test goroutine.
+func driveOne(rt *Router, g *group) error {
+	id := g.contract.ID
+	j, err := rt.Register(g.contract)
+	if err != nil {
+		return fmt.Errorf("%s: register: %w", id, err)
+	}
+	_, sh, err := rt.ShardFor(id)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	key := sh.Device().DeviceKey()
+
+	if err := g.pipeProvider(rt.HandleConn, key, g.provA, g.relA); err != nil {
+		return fmt.Errorf("%s: provider A: %w", id, err)
+	}
+	if err := g.pipeProvider(rt.HandleConn, key, g.provB, g.relB); err != nil {
+		return fmt.Errorf("%s: provider B: %w", id, err)
+	}
+	out := g.pipeRecipient(rt.HandleConn, key)
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("%s: job hung in state %s", id, j.State())
+	}
+	o := <-out
+	if o.err != nil {
+		return fmt.Errorf("%s: recipient: %w", id, o.err)
+	}
+	if !relation.SameMultiset(o.result, g.wantJoin()) {
+		return fmt.Errorf("%s: delivered rows differ from reference join", id)
+	}
+	return nil
+}

@@ -39,6 +39,22 @@ type Config struct {
 	// QueueDepth bounds the ready-job FIFO queue; a job that becomes ready
 	// while the queue is full fails with ErrQueueFull. Defaults to 16.
 	QueueDepth int
+	// Shards asks for a multi-host fleet. A Server is always exactly one
+	// simulated host; the field is interpreted by internal/fleet.New, which
+	// builds Shards of them behind one consistent-hashing router (each with
+	// its own device pool, sealer, and WAL under DataDir/shard-<i>).
+	// Server.New itself ignores values <= 1 and refuses larger ones so a
+	// sharding request cannot be silently served by a single host.
+	Shards int
+	// AdmissionControl makes Register refuse new contracts with
+	// ErrQueueFull while the ready-job queue is at capacity — registration-
+	// time backpressure, checked before any durable side effect. The fleet
+	// router enables it on every shard so a full shard's refusal can spill
+	// the contract to the least-loaded shard instead of failing the job
+	// minutes later when it becomes ready. Off by default: a single server
+	// keeps the historical semantics (admission always succeeds; the queue
+	// bound is enforced when the job becomes ready).
+	AdmissionControl bool
 	// Memory is the per-job coprocessor free memory M in tuples (0 =
 	// effectively unbounded).
 	Memory int
@@ -108,6 +124,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("server: Config.Shards = %d: a Server is one shard; build a fleet with internal/fleet.New", cfg.Shards)
+	}
 	dev, err := service.BootDevice()
 	if err != nil {
 		return nil, err
@@ -171,6 +190,13 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	if down {
 		return nil, ErrShuttingDown
 	}
+	// Registration-time backpressure (fleet spillover hook). The check is
+	// deliberately side-effect free — no metric, no WAL record — so a
+	// refused admission leaves no gauge drift behind when the router
+	// re-registers the contract on another shard.
+	if s.cfg.AdmissionControl && len(s.queue) >= cap(s.queue) {
+		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, cap(s.queue))
+	}
 	if err := c.CheckRoles(); err != nil {
 		return nil, err
 	}
@@ -230,6 +256,15 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
+	return s.HandleSession(sess, hello)
+}
+
+// HandleSession serves a session whose hello has already been read — the
+// dispatch seam for multi-host routing: the fleet router reads the hello
+// once (service.ReadHello), picks the shard that owns hello.ContractID, and
+// hands the open session to that shard here. Semantics are exactly
+// HandleConn's from the hello onward.
+func (s *Server) HandleSession(sess *service.Session, hello service.Hello) error {
 	j, err := s.registry.Lookup(hello.ContractID)
 	if err != nil {
 		return err
@@ -386,4 +421,36 @@ func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
+}
+
+// Load is a point-in-time load observation of one server, read lock-free
+// from the queue channel and the metrics gauges. The fleet router's
+// spillover policy orders shards by it.
+type Load struct {
+	// QueueDepth is the number of ready jobs waiting for a worker.
+	QueueDepth int
+	// QueueCap is the configured queue bound; QueueDepth == QueueCap means
+	// the shard is refusing admissions under AdmissionControl.
+	QueueCap int
+	// Active counts registered jobs that have not reached a terminal state
+	// (Pending + Uploading + Running).
+	Active int
+}
+
+// Less orders loads for least-loaded selection: fewer queued jobs first,
+// then fewer active jobs.
+func (l Load) Less(o Load) bool {
+	if l.QueueDepth != o.QueueDepth {
+		return l.QueueDepth < o.QueueDepth
+	}
+	return l.Active < o.Active
+}
+
+// Load reports the server's current load.
+func (s *Server) Load() Load {
+	active := int64(0)
+	for _, st := range []State{StatePending, StateUploading, StateRunning} {
+		active += s.metrics.gauges[st].Load()
+	}
+	return Load{QueueDepth: len(s.queue), QueueCap: cap(s.queue), Active: int(active)}
 }
