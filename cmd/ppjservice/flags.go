@@ -8,15 +8,19 @@ import (
 
 // options is the parsed and validated command line.
 type options struct {
-	addr    string
-	rows    int
-	workers int
-	queue   int
-	timeout time.Duration
-	dataDir string
-	devices int
-	shards  int
-	wal     bool
+	addr           string
+	rows           int
+	workers        int
+	queue          int
+	timeout        time.Duration
+	dataDir        string
+	devices        int
+	shards         int
+	wal            bool
+	maxUploadBytes int64
+	uploadWindow   int
+	uploadDeadline time.Duration
+	chunkRows      int
 }
 
 // parseFlags binds the flag set, parses args, and validates the result.
@@ -33,6 +37,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.devices, "devices-per-job", 1, "coprocessors attached per job; >1 enables intra-job parallel joins")
 	fs.IntVar(&o.shards, "shards", 1, "simulated hosts in the fleet; contracts are routed by consistent hashing")
 	fs.BoolVar(&o.wal, "wal", false, "require the durable write-ahead job store (needs -data-dir)")
+	fs.Int64Var(&o.maxUploadBytes, "max-upload-bytes", 0, "sealed-byte budget per provider upload; 0 is unbounded")
+	fs.IntVar(&o.uploadWindow, "upload-window", 0, "chunk credit window W per upload stream; 0 selects the default")
+	fs.DurationVar(&o.uploadDeadline, "upload-deadline", 0, "per-upload wall-clock bound; a stalled stream fails the job (0 leaves only -timeout)")
+	fs.IntVar(&o.chunkRows, "chunk-rows", 0, "rows per upload chunk sent by the demo clients; 0 selects the default")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -44,8 +52,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 
 // validate rejects configurations the serving layer would otherwise accept
 // silently or fail on late: a fleet needs at least one shard, every job at
-// least one device, and asking for durability without saying where the WAL
-// lives is a misconfiguration, not an in-memory fallback.
+// least one device, asking for durability without saying where the WAL
+// lives is a misconfiguration rather than an in-memory fallback, and the
+// ingest limits must not be negative (zero means "default"/"unbounded";
+// below that there is no meaning to ask for).
 func (o *options) validate() error {
 	if o.shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", o.shards)
@@ -55,6 +65,18 @@ func (o *options) validate() error {
 	}
 	if o.wal && o.dataDir == "" {
 		return fmt.Errorf("-wal requires -data-dir: a durable job store needs a directory to live in")
+	}
+	if o.maxUploadBytes < 0 {
+		return fmt.Errorf("-max-upload-bytes must not be negative, got %d", o.maxUploadBytes)
+	}
+	if o.uploadWindow < 0 {
+		return fmt.Errorf("-upload-window must not be negative, got %d", o.uploadWindow)
+	}
+	if o.uploadDeadline < 0 {
+		return fmt.Errorf("-upload-deadline must not be negative, got %v", o.uploadDeadline)
+	}
+	if o.chunkRows < 0 {
+		return fmt.Errorf("-chunk-rows must not be negative, got %d", o.chunkRows)
 	}
 	return nil
 }

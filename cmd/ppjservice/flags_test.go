@@ -29,6 +29,20 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.workers != 2 || o.queue != 8 || o.timeout != 30*time.Second {
 		t.Fatalf("defaults: %+v", o)
 	}
+	if o.maxUploadBytes != 0 || o.uploadWindow != 0 || o.uploadDeadline != 0 || o.chunkRows != 0 {
+		t.Fatalf("upload defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsUploadLimits(t *testing.T) {
+	o, err := parse(t, "-max-upload-bytes", "1048576", "-upload-window", "4",
+		"-upload-deadline", "30s", "-chunk-rows", "128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.maxUploadBytes != 1<<20 || o.uploadWindow != 4 || o.uploadDeadline != 30*time.Second || o.chunkRows != 128 {
+		t.Fatalf("parsed: %+v", o)
+	}
 }
 
 func TestParseFlagsValid(t *testing.T) {
@@ -53,6 +67,10 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"negative devices", []string{"-devices-per-job", "-1"}, "-devices-per-job"},
 		{"wal without data-dir", []string{"-wal"}, "-wal requires -data-dir"},
 		{"wal with shards without data-dir", []string{"-shards", "2", "-wal"}, "-wal requires -data-dir"},
+		{"negative upload budget", []string{"-max-upload-bytes", "-1"}, "-max-upload-bytes"},
+		{"negative upload window", []string{"-upload-window", "-3"}, "-upload-window"},
+		{"negative upload deadline", []string{"-upload-deadline", "-2s"}, "-upload-deadline"},
+		{"negative chunk rows", []string{"-chunk-rows", "-64"}, "-chunk-rows"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

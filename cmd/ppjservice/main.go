@@ -67,14 +67,17 @@ func main() {
 	}
 
 	rt, err := fleet.New(fleet.Config{Config: server.Config{
-		Shards:        o.shards,
-		Workers:       o.workers,
-		QueueDepth:    o.queue,
-		Memory:        64,
-		DevicesPerJob: o.devices,
-		JobTimeout:    o.timeout,
-		Logf:          log.Printf,
-		DataDir:       o.dataDir,
+		Shards:         o.shards,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		Memory:         64,
+		DevicesPerJob:  o.devices,
+		JobTimeout:     o.timeout,
+		MaxUploadBytes: o.maxUploadBytes,
+		UploadWindow:   o.uploadWindow,
+		UploadDeadline: o.uploadDeadline,
+		Logf:           log.Printf,
+		DataDir:        o.dataDir,
 	}})
 	check(err)
 	fmt.Printf("join fleet up: %d shard(s), worker pool P=%d and queue depth %d each\n",
@@ -191,7 +194,8 @@ func main() {
 					defer conn.Close()
 					cs, err := client(k, tn.spec.parties[k]).ConnectContract(conn, service.RoleProvider, tn.contract.ID)
 					check(err)
-					check(cs.SubmitRelation(tn.contract.ID, rel))
+					check(cs.SubmitRelationOpts(tn.contract.ID, rel,
+						service.UploadOptions{ChunkRows: o.chunkRows}))
 				}(k, rel)
 			}
 			conn := dial()

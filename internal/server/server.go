@@ -71,6 +71,23 @@ type Config struct {
 	// JobTimeout, when positive, bounds each job's lifetime from
 	// registration; expiry fails the job with context.DeadlineExceeded.
 	JobTimeout time.Duration
+	// MaxUploadBytes bounds the sealed payload bytes of one provider upload
+	// (chunked or legacy). An oversize upload — or a chunked stream that
+	// lies upward past its declared row count — is refused with
+	// service.ErrUploadTooLarge before the excess is opened, while the job
+	// is still Uploading. Zero means unbounded.
+	MaxUploadBytes int64
+	// UploadWindow is the credit window W granted to chunked uploaders: a
+	// provider may have at most W unacknowledged chunks in flight, so the
+	// server's ingest memory per connection is bounded by W x chunk bytes.
+	// Zero selects service.DefaultUploadWindow.
+	UploadWindow int
+	// UploadDeadline, when positive, bounds one provider upload's wall
+	// clock from its first frame. A chunked stream that stalls past it
+	// fails the job with service.ErrUploadTruncated (the provider has
+	// committed to a row count it is no longer delivering). Zero leaves
+	// only the job deadline.
+	UploadDeadline time.Duration
 	// Logf, when set, receives connection-level errors from Serve.
 	Logf func(format string, args ...any)
 	// DataDir, when set, enables the write-ahead job store: contract
@@ -205,6 +222,8 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 		return nil, err
 	}
 	svc.Devices = s.cfg.DevicesPerJob
+	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
+	svc.UploadWindow = s.cfg.UploadWindow
 	providers, recipients := c.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 {
@@ -276,8 +295,27 @@ func (s *Server) HandleSession(sess *service.Session, hello service.Hello) error
 	j.noteSession()
 	switch party.Role {
 	case service.RoleProvider:
-		if err := j.svc.ReceiveUpload(party.Name, sess); err != nil {
-			return fmt.Errorf("server: upload from %s: %w", party.Name, err)
+		// The upload runs under the job context, tightened by the upload
+		// deadline when one is configured: a provider that stalls mid-stream
+		// cannot hold the slot (and the server's ingest window) open
+		// forever.
+		ctx := j.ctx
+		if s.cfg.UploadDeadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.UploadDeadline)
+			defer cancel()
+		}
+		if err := j.svc.ReceiveUploadCtx(ctx, party.Name, sess); err != nil {
+			err = fmt.Errorf("server: upload from %s: %w", party.Name, err)
+			// A stream the deadline killed mid-flight is unrecoverable by
+			// waiting: the provider committed to rows it stopped delivering.
+			// Fail the job now so recipients learn the truncation verdict
+			// instead of idling until the job deadline. Other upload errors
+			// release only the party slot — the provider may reconnect.
+			if errors.Is(err, service.ErrUploadTruncated) && ctx.Err() != nil {
+				j.fail(err, false)
+			}
+			return err
 		}
 		j.providerUploaded()
 		return nil

@@ -24,6 +24,11 @@ type Client struct {
 	Identity  ed25519.PrivateKey
 	DeviceKey ed25519.PublicKey
 	Expected  secop.ExpectedStack
+	// Legacy pins the session to the ProtoLegacy one-shot upload (the whole
+	// relation in a single dataMsg) instead of the default chunked stream.
+	// It exists so the one-release compatibility window for old clients
+	// stays tested; new code should leave it false.
+	Legacy bool
 }
 
 // ClientSession is an authenticated channel to the attested coprocessor.
@@ -48,11 +53,15 @@ func (c *Client) Connect(conn io.ReadWriter, role Role) (*ClientSession, error) 
 // right registered contract before attestation completes.
 func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID string) (*ClientSession, error) {
 	sess := newSession(conn)
+	proto := ProtoChunked
+	if c.Legacy {
+		proto = ProtoLegacy
+	}
 	challenge := make([]byte, 32)
 	if _, err := rand.Read(challenge); err != nil {
 		return nil, err
 	}
-	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID}); err != nil {
+	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID, Proto: proto}); err != nil {
 		return nil, err
 	}
 	var auth serverAuthMsg
@@ -99,12 +108,36 @@ func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID strin
 	if err != nil {
 		return nil, err
 	}
-	return &ClientSession{client: c, sess: &Session{enc: sess.enc, dec: sess.dec, sealer: sealDir, opener: open}}, nil
+	return &ClientSession{client: c, sess: &Session{enc: sess.enc, dec: sess.dec, sealer: sealDir, opener: open, proto: proto}}, nil
+}
+
+// UploadOptions configures the streaming producer.
+type UploadOptions struct {
+	// ChunkRows is the number of sealed rows per chunk frame. Zero selects
+	// DefaultChunkRows. The server's per-connection ingest memory is bounded
+	// by its credit window times this chunk's wire size.
+	ChunkRows int
 }
 
 // SubmitRelation uploads a provider's relation under the session key, each
-// row bound to the contract ID.
+// row bound to the contract ID. Sessions opened at ProtoChunked (the
+// default) stream the relation in acknowledged chunks with the default
+// chunk size; Legacy sessions send the one-shot dataMsg.
 func (cs *ClientSession) SubmitRelation(contractID string, rel *relation.Relation) error {
+	return cs.SubmitRelationOpts(contractID, rel, UploadOptions{})
+}
+
+// SubmitRelationOpts is SubmitRelation with explicit streaming options.
+func (cs *ClientSession) SubmitRelationOpts(contractID string, rel *relation.Relation, opt UploadOptions) error {
+	if cs.sess.proto < ProtoChunked {
+		return cs.submitLegacy(contractID, rel)
+	}
+	return cs.submitChunked(contractID, rel, opt)
+}
+
+// submitLegacy is the ProtoLegacy one-shot upload: every row sealed into a
+// single dataMsg.
+func (cs *ClientSession) submitLegacy(contractID string, rel *relation.Relation) error {
 	encs, err := rel.EncodeAll()
 	if err != nil {
 		return err
@@ -116,6 +149,71 @@ func (cs *ClientSession) SubmitRelation(contractID string, rel *relation.Relatio
 		msg.Rows[i] = cs.sess.sealer.seal(pt)
 	}
 	return cs.sess.enc.Encode(msg)
+}
+
+// submitChunked is the streaming producer: a begin frame declaring the row
+// count, then chunk frames under the server-granted credit window (at most
+// W unacknowledged chunks in flight), then the end frame with the totals.
+// Rows are sealed lazily per chunk, so producer memory is one chunk plus
+// the relation it already owns. It returns once the server confirms the
+// completed upload, or with the server's refusal verdict.
+//
+// The ack stream is drained by a dedicated reader that publishes cumulative
+// credit into an ackTracker: the reader must never stop consuming the wire,
+// or a synchronous transport deadlocks three ways at once (server blocked
+// writing an ack, reader blocked handing it over, producer blocked writing
+// a chunk the server will never read).
+func (cs *ClientSession) submitChunked(contractID string, rel *relation.Relation, opt UploadOptions) error {
+	chunkRows := opt.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	if err := cs.sess.enc.Encode(uploadBeginMsg{
+		ContractID:   contractID,
+		Schema:       toWire(rel.Schema),
+		DeclaredRows: int64(rel.Len()),
+	}); err != nil {
+		return fmt.Errorf("service: sending upload begin: %w", err)
+	}
+
+	st := newAckTracker()
+	go st.run(cs.sess.dec)
+
+	// The first ack is the credit grant (and the server's chance to refuse
+	// the upload before any row is sealed).
+	if err := st.waitGrant(); err != nil {
+		return err
+	}
+
+	prefix := []byte(contractID)
+	var ck chunker
+	for start := 0; start < rel.Len(); start += chunkRows {
+		// Block until the window admits this chunk; a refusal that already
+		// arrived fails fast instead of pushing more rows at a dead stream.
+		if err := st.waitCredit(ck.seq); err != nil {
+			return err
+		}
+		end := start + chunkRows
+		if end > rel.Len() {
+			end = rel.Len()
+		}
+		sealed := make([][]byte, 0, end-start)
+		for _, t := range rel.Rows[start:end] {
+			e, err := rel.Schema.Encode(t)
+			if err != nil {
+				return err
+			}
+			pt := append(append([]byte(nil), prefix...), e...)
+			sealed = append(sealed, cs.sess.sealer.seal(pt))
+		}
+		if err := cs.sess.enc.Encode(uploadFrameMsg{Chunk: ck.frame(sealed)}); err != nil {
+			return fmt.Errorf("service: sending chunk %d: %w", ck.seq, err)
+		}
+	}
+	if err := cs.sess.enc.Encode(uploadFrameMsg{End: ck.endFrame(int64(rel.Len()))}); err != nil {
+		return fmt.Errorf("service: sending upload end: %w", err)
+	}
+	return st.waitDone()
 }
 
 // ReceiveResult waits for the recipient's result, decrypts it, drops decoy

@@ -165,6 +165,11 @@ type Hello struct {
 	Role       Role
 	Challenge  []byte // attestation nonce
 	ContractID string
+	// Proto is the upload protocol version the requestor speaks: ProtoLegacy
+	// (one-shot dataMsg) or ProtoChunked (windowed chunk stream). Hellos from
+	// old clients gob-decode without the field, landing on ProtoLegacy, which
+	// stays accepted for one release.
+	Proto byte
 }
 
 // serverAuthMsg carries the device attestation and the service's ephemeral
@@ -199,11 +204,13 @@ func (w schemaWire) schema() (*relation.Schema, error) {
 	return relation.NewSchema(w.Attrs...)
 }
 
-// dataMsg is a provider's relation upload: each row sealed under the
-// session key, prepended with the contract ID inside the plaintext ("Each
-// party prepends its relation with the contract ID and encrypts the two
-// together as one message", §3.3.3 — here per row, binding every ciphertext
-// to the contract).
+// dataMsg is a ProtoLegacy provider upload: the whole relation in one
+// message, each row sealed under the session key and prepended with the
+// contract ID inside the plaintext ("Each party prepends its relation with
+// the contract ID and encrypts the two together as one message", §3.3.3 —
+// here per row, binding every ciphertext to the contract). ProtoChunked
+// clients stream the same sealed rows as uploadChunkMsg frames instead; the
+// one-shot form stays accepted for one release.
 type dataMsg struct {
 	ContractID string
 	Schema     schemaWire
@@ -227,13 +234,15 @@ type resultMsg struct {
 	Err string
 }
 
-// Session wraps a connection with gob codecs and the directional session
-// sealers (sealer encrypts outgoing payloads, opener decrypts incoming).
+// Session wraps a connection with gob codecs, the directional session
+// sealers (sealer encrypts outgoing payloads, opener decrypts incoming),
+// and the upload protocol version negotiated in the hello.
 type Session struct {
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	sealer *sessionSealer
 	opener *sessionSealer
+	proto  byte
 }
 
 func newSession(rw io.ReadWriter) *Session {
@@ -249,6 +258,7 @@ func ReadHello(conn io.ReadWriter) (*Session, Hello, error) {
 	if err := sess.dec.Decode(&hello); err != nil {
 		return nil, Hello{}, fmt.Errorf("service: reading hello: %w", err)
 	}
+	sess.proto = hello.Proto
 	return sess, hello, nil
 }
 

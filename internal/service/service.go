@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdh"
 	"crypto/ed25519"
 	cryptorand "crypto/rand"
@@ -72,15 +73,34 @@ type Service struct {
 	// fleet shares one sealer, and each device keeps its own seed, trace and
 	// stats. Zero or 1 means sequential execution.
 	Devices int
+	// MaxUploadBytes bounds one provider upload's total sealed payload
+	// bytes; an upload exceeding it fails with ErrUploadTooLarge before the
+	// excess is opened. Zero means unbounded.
+	MaxUploadBytes int64
+	// UploadWindow is the credit window W granted to ProtoChunked uploaders:
+	// at most W unacknowledged chunks in flight per connection, so ingest
+	// memory per connection is bounded by W x chunk bytes. Zero selects
+	// DefaultUploadWindow.
+	UploadWindow int
 
 	mu      sync.Mutex
 	uploads map[string]*upload
+
+	// chunkConsumeHook, when set (tests only), runs before each chunk is
+	// validated and opened — the backpressure suite uses it to slow the
+	// consumer and observe the credit window holding.
+	chunkConsumeHook func(seq int)
 }
 
+// upload is one provider's slot in the service. The slot is reserved
+// (pending=true) before any ciphertext is read, so two concurrent uploads
+// for the same party can never both run a decrypt pass; it is released on
+// error and committed with the relation on success.
 type upload struct {
-	party  string
-	schema *relation.Schema
-	rel    *relation.Relation
+	party   string
+	pending bool
+	schema  *relation.Schema
+	rel     *relation.Relation
 }
 
 // NewService manufactures and boots a device and binds it to a verified
@@ -300,61 +320,83 @@ func (s *Service) Handshake(sess *Session, hello Hello) (Party, error) {
 
 // ReceiveUpload ingests a provider's relation: every row is opened with the
 // session key inside T, checked for the contract binding, and retained for
-// the join. The duplicate check runs before any ciphertext is read, so a
-// replayed provider connection cannot burn a full decrypt pass.
+// the join. The party's upload slot is reserved before any ciphertext is
+// read — a duplicate or concurrent second upload fails immediately and can
+// never burn a decrypt pass — and released again if the upload errors, so a
+// provider whose stream broke may reconnect and retry. The session's
+// negotiated protocol version selects the chunked incremental consumer or
+// the legacy one-shot path; both funnel through the same row-validation
+// core.
 func (s *Service) ReceiveUpload(party string, sess *Session) error {
-	s.mu.Lock()
-	_, dup := s.uploads[party]
-	s.mu.Unlock()
-	if dup {
-		return fmt.Errorf("party %q uploaded twice", party)
-	}
-	var msg dataMsg
-	if err := sess.dec.Decode(&msg); err != nil {
+	return s.ReceiveUploadCtx(context.Background(), party, sess)
+}
+
+// ReceiveUploadCtx is ReceiveUpload under a context: a chunked stream that
+// is still incomplete when ctx expires is abandoned with ErrUploadTruncated
+// (the serving layer derives ctx from the job deadline and the configured
+// upload deadline).
+func (s *Service) ReceiveUploadCtx(ctx context.Context, party string, sess *Session) error {
+	if err := s.reserveUpload(party); err != nil {
 		return err
 	}
-	if msg.ContractID != s.Contract.ID {
-		return fmt.Errorf("upload for foreign contract %q", msg.ContractID)
+	var (
+		rel *relation.Relation
+		err error
+	)
+	if sess.proto >= ProtoChunked {
+		rel, err = s.receiveChunked(ctx, sess)
+	} else {
+		rel, err = s.receiveLegacy(sess)
 	}
-	schema, err := msg.Schema.schema()
 	if err != nil {
+		s.releaseUpload(party)
 		return err
 	}
-	rel := relation.NewRelation(schema)
-	prefix := []byte(s.Contract.ID)
-	for i, ct := range msg.Rows {
-		pt, err := sess.opener.open(ct)
-		if err != nil {
-			return fmt.Errorf("row %d: %w", i, err)
-		}
-		if len(pt) < len(prefix) || !bytes.Equal(pt[:len(prefix)], prefix) {
-			return fmt.Errorf("row %d not bound to contract", i)
-		}
-		row, err := schema.Decode(pt[len(prefix):])
-		if err != nil {
-			return fmt.Errorf("row %d: %w", i, err)
-		}
-		if err := rel.Append(row); err != nil {
-			return err
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Re-check under the lock: two concurrent uploads for the same party
-	// may both pass the early check.
-	if _, dup := s.uploads[party]; dup {
-		return fmt.Errorf("party %q uploaded twice", party)
-	}
-	s.uploads[party] = &upload{party: party, schema: schema, rel: rel}
+	s.commitUpload(party, rel)
 	return nil
 }
 
-// UploadsComplete reports whether every provider's relation has arrived.
+// reserveUpload claims a party's upload slot before any ciphertext is read.
+func (s *Service) reserveUpload(party string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.uploads[party]; dup {
+		return fmt.Errorf("party %q uploaded twice", party)
+	}
+	s.uploads[party] = &upload{party: party, pending: true}
+	return nil
+}
+
+// releaseUpload frees a reservation whose upload failed, so the party can
+// retry. Committed uploads are never released.
+func (s *Service) releaseUpload(party string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if up, ok := s.uploads[party]; ok && up.pending {
+		delete(s.uploads, party)
+	}
+}
+
+// commitUpload publishes a completed upload under its reservation.
+func (s *Service) commitUpload(party string, rel *relation.Relation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uploads[party] = &upload{party: party, schema: rel.Schema, rel: rel}
+}
+
+// UploadsComplete reports whether every provider's relation has arrived
+// (reservations still streaming don't count).
 func (s *Service) UploadsComplete() bool {
 	providers, _ := s.Contract.CountRoles()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.uploads) >= providers
+	n := 0
+	for _, up := range s.uploads {
+		if !up.pending {
+			n++
+		}
+	}
+	return n >= providers
 }
 
 // Outcome is the computed result of a contract execution, ready to be
@@ -436,7 +478,7 @@ func (s *Service) gatherUploads() ([]*relation.Relation, []string, error) {
 			continue
 		}
 		up, ok := s.uploads[p.Name]
-		if !ok {
+		if !ok || up.pending {
 			return nil, nil, fmt.Errorf("service: provider %s never uploaded", p.Name)
 		}
 		rels = append(rels, up.rel)

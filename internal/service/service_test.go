@@ -47,8 +47,9 @@ func buildContract(t *testing.T, alg string, pA, pB, pC testParty, pred Predicat
 }
 
 // runService executes the full three-party flow over net.Pipe connections
-// and returns the recipient's decoded result.
-func runService(t *testing.T, svc *Service, pA, pB, pC testParty, relA, relB *relation.Relation) (*relation.Relation, error) {
+// and returns the recipient's decoded result. Optional opts tweak every
+// party's client (e.g. pinning the legacy upload protocol).
+func runService(t *testing.T, svc *Service, pA, pB, pC testParty, relA, relB *relation.Relation, opts ...func(*Client)) (*relation.Relation, error) {
 	t.Helper()
 	mk := func() (io.ReadWriter, io.ReadWriter) { return net.Pipe() }
 	serverA, clientA := mk()
@@ -56,12 +57,16 @@ func runService(t *testing.T, svc *Service, pA, pB, pC testParty, relA, relB *re
 	serverC, clientC := mk()
 
 	client := func(p testParty) *Client {
-		return &Client{
+		c := &Client{
 			Name:      p.name,
 			Identity:  p.priv,
 			DeviceKey: svc.Device.DeviceKey(),
 			Expected:  ExpectedStack(),
 		}
+		for _, o := range opts {
+			o(c)
+		}
+		return c
 	}
 
 	var (

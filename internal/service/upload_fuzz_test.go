@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"testing"
+)
+
+// requireTypedUploadErr asserts an ingest failure carries one of the three
+// typed verdicts — the conformance contract of the framing layer.
+func requireTypedUploadErr(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, ErrUploadFrame) && !errors.Is(err, ErrUploadTooLarge) && !errors.Is(err, ErrUploadTruncated) {
+		t.Fatalf("untyped upload error: %v", err)
+	}
+}
+
+// FuzzUploadStream fuzzes the chunk framing layer from two sides.
+//
+// Part 1 interprets the input as a script of producer actions — well-formed
+// chunks, CRC corruption, sequence skew, frame replay, (possibly mutated)
+// end frames — against a chunkAssembler. Every violation must surface as a
+// typed error, every mutated frame must be caught, and an accepted stream
+// must re-encode canonically to the identical final CRC.
+//
+// Part 2 feeds the same raw bytes straight into the wire-frame reader as a
+// hostile gob stream: whatever garbage arrives, the outcome is a typed
+// verdict (usually a truncated or malformed frame), never a panic.
+func FuzzUploadStream(f *testing.F) {
+	f.Add(int64(4), int64(0), []byte{0, 2, 1, 3, 5, 0})
+	f.Add(int64(0), int64(64), []byte{5, 0})
+	f.Add(int64(100), int64(100), []byte{0, 9})
+	f.Add(int64(-1), int64(0), []byte{})
+	f.Add(int64(6), int64(1024), []byte{2, 0xff})
+	f.Add(int64(9), int64(0), []byte{0, 5, 4, 0, 3, 2})
+	f.Add(int64(3), int64(0), []byte{1, 6, 5, 1})
+	f.Add(int64(8), int64(256), []byte{0, 3, 5, 3})
+
+	f.Fuzz(func(t *testing.T, declared, maxBytes int64, script []byte) {
+		fuzzAssembler(t, declared, maxBytes, script)
+		fuzzFrameReader(t, script)
+	})
+}
+
+// fuzzAssembler drives the framing state machine with a scripted mix of
+// honest and corrupted frames.
+func fuzzAssembler(t *testing.T, declared, maxBytes int64, script []byte) {
+	asm, err := newChunkAssembler(declared, maxBytes)
+	if err != nil {
+		requireTypedUploadErr(t, err)
+		return
+	}
+	var (
+		ck       chunker
+		received [][]byte        // rows of every admitted chunk, in order
+		lastGood *uploadChunkMsg // most recent admitted frame, for replay
+		rowByte  byte            = 1
+	)
+	mkRows := func(n, size int) [][]byte {
+		rows := make([][]byte, n)
+		for i := range rows {
+			r := make([]byte, size)
+			for j := range r {
+				r[j] = rowByte
+			}
+			rowByte++
+			rows[i] = r
+		}
+		return rows
+	}
+	for i, steps := 0, 0; i < len(script) && steps < 256; steps++ {
+		op := script[i]
+		i++
+		arg := byte(0)
+		if i < len(script) {
+			arg = script[i]
+			i++
+		}
+		switch op % 6 {
+		case 0, 1: // honest next chunk
+			c := ck.frame(mkRows(int(arg%4)+1, int(arg%7)))
+			if err := asm.chunk(c); err != nil {
+				// Budget or declaration overruns are legitimate refusals of
+				// honest frames; either way the stream is over.
+				requireTypedUploadErr(t, err)
+				return
+			}
+			received = append(received, c.Rows...)
+			lastGood = c
+		case 2: // broken running CRC
+			c := *ck.frame(mkRows(1, int(arg%7)))
+			c.CRC ^= uint32(arg) + 1
+			err := asm.chunk(&c)
+			if err == nil {
+				t.Fatal("corrupted CRC admitted")
+			}
+			requireTypedUploadErr(t, err)
+			return
+		case 3: // skewed sequence number
+			c := *ck.frame(mkRows(1, int(arg%7)))
+			c.Seq += uint32(arg%5) + 1
+			err := asm.chunk(&c)
+			if err == nil {
+				t.Fatal("skewed sequence number admitted")
+			}
+			requireTypedUploadErr(t, err)
+			return
+		case 4: // replay the previous frame
+			if lastGood == nil {
+				continue
+			}
+			err := asm.chunk(lastGood)
+			if err == nil {
+				t.Fatal("replayed chunk admitted")
+			}
+			requireTypedUploadErr(t, err)
+			return
+		case 5: // end frame, possibly with mutated totals
+			e := ck.endFrame(int64(len(received)))
+			mut := arg % 4
+			switch mut {
+			case 1:
+				e.Frames++
+			case 2:
+				e.Rows++
+			case 3:
+				e.CRC ^= 0xdeadbeef
+			}
+			err := asm.end(e)
+			if mut != 0 {
+				if err == nil {
+					t.Fatal("mutated end frame admitted")
+				}
+				requireTypedUploadErr(t, err)
+				return
+			}
+			if err != nil {
+				// The only legitimate refusal of truthful totals is closing
+				// short of the declaration.
+				if !errors.Is(err, ErrUploadTruncated) {
+					t.Fatalf("truthful end frame refused: %v", err)
+				}
+				return
+			}
+			// Accepted: exactly the declared rows arrived, and a canonical
+			// re-encode of what was admitted replays to the same final CRC.
+			if int64(len(received)) != declared {
+				t.Fatalf("stream accepted with %d rows, %d declared", len(received), declared)
+			}
+			var ck2 chunker
+			asm2, err := newChunkAssembler(int64(len(received)), maxBytes)
+			if err != nil {
+				t.Fatalf("canonical re-encode refused at begin: %v", err)
+			}
+			for start := 0; start < len(received); start += 3 {
+				end := start + 3
+				if end > len(received) {
+					end = len(received)
+				}
+				if err := asm2.chunk(ck2.frame(received[start:end])); err != nil {
+					t.Fatalf("canonical re-encode refused chunk: %v", err)
+				}
+			}
+			if err := asm2.end(ck2.endFrame(int64(len(received)))); err != nil {
+				t.Fatalf("canonical re-encode refused end: %v", err)
+			}
+			if asm2.crc != asm.crc {
+				t.Fatalf("canonical re-encode CRC %08x, stream CRC %08x", asm2.crc, asm.crc)
+			}
+			return
+		}
+	}
+	// Script exhausted mid-stream: an implicit truncation. Closing honestly
+	// now must be refused iff the declaration is unmet.
+	err = asm.end(ck.endFrame(int64(len(received))))
+	if int64(len(received)) < declared {
+		if !errors.Is(err, ErrUploadTruncated) {
+			t.Fatalf("short stream closed with %v", err)
+		}
+	} else if err != nil {
+		t.Fatalf("complete stream refused: %v", err)
+	}
+}
+
+// fuzzFrameReader aims the raw fuzz bytes at the wire-frame reader: a
+// hostile peer's gob stream must always terminate in a typed verdict.
+func fuzzFrameReader(t *testing.T, raw []byte) {
+	sess := &Session{
+		enc: gob.NewEncoder(io.Discard),
+		dec: gob.NewDecoder(bytes.NewReader(raw)),
+	}
+	quit := make(chan struct{})
+	defer close(quit)
+	frames := make(chan decodedFrame)
+	go readUploadFrames(sess, frames, quit)
+	for n := 0; ; n++ {
+		d := <-frames
+		if d.err != nil {
+			requireTypedUploadErr(t, d.err)
+			return
+		}
+		if d.end != nil {
+			return
+		}
+		if n > 1<<16 {
+			t.Fatal("frame reader never terminated")
+		}
+	}
+}

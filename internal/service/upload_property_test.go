@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ppj/internal/relation"
+)
+
+// ingestAll uploads relA and relB into a fresh service for the given
+// contract and returns the service (t.Fatal on any verdict).
+func ingestAll(t *testing.T, contract *Contract, pA, pB testParty, relA, relB *relation.Relation, legacy bool, chunkRows int) *Service {
+	t.Helper()
+	svc, err := NewService(contract, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []struct {
+		p   testParty
+		rel *relation.Relation
+	}{{pA, relA}, {pB, relB}} {
+		if srvErr, cliErr := uploadOnce(t, svc, u.p, contract.ID, u.rel, legacy, chunkRows); srvErr != nil || cliErr != nil {
+			t.Fatalf("upload %s (legacy=%v chunk=%d): server=%v client=%v",
+				u.p.name, legacy, chunkRows, srvErr, cliErr)
+		}
+	}
+	return svc
+}
+
+// assertSameUpload compares two committed uploads row for row.
+func assertSameUpload(t *testing.T, base, got *Service, party, label string) {
+	t.Helper()
+	want := uploadedRows(t, base, party)
+	have := uploadedRows(t, got, party)
+	if len(have) != len(want) {
+		t.Fatalf("%s: %s landed %d rows, legacy landed %d", label, party, len(have), len(want))
+	}
+	for i := range have {
+		if !bytes.Equal(have[i], want[i]) {
+			t.Fatalf("%s: %s row %d differs from the legacy upload", label, party, i)
+		}
+	}
+}
+
+// TestStreamingMatchesLegacy is the equivalence property of the tentpole:
+// for relation sizes straddling the default chunk boundary and chunk sizes
+// {1, 7, 64}, a streamed upload must land the byte-identical relation a
+// legacy one-shot upload lands, and a pinned-seed execution over it must
+// produce the identical outcome — same rows, same sim.Stats — for a padded
+// (alg3) and an unpadded (alg5) algorithm. The framing is pure transport;
+// nothing downstream may observe it.
+func TestStreamingMatchesLegacy(t *testing.T) {
+	pA, pB, pC := newParty(t, "p1"), newParty(t, "p2"), newParty(t, "r")
+	pred := PredicateSpec{Kind: "equi", AttrA: "key", AttrB: "key"}
+	relB := relation.GenKeyed(relation.NewRand(7), 16, 5)
+
+	for _, alg := range []string{"alg3", "alg5"} {
+		for _, size := range []int{0, 1, 63, 64, 65} {
+			relA := relation.GenKeyed(relation.NewRand(uint64(size)+11), size, 5)
+			contract := buildContract(t, alg, pA, pB, pC, pred, 1e-9)
+			contract.ID = fmt.Sprintf("equiv-%s-%d", alg, size)
+			contract.Signatures = nil
+			contract.Sign(0, pA.priv)
+			contract.Sign(1, pB.priv)
+
+			base := ingestAll(t, contract, pA, pB, relA, relB, true, 0)
+			baseOut := base.RunContract()
+			for _, chunkRows := range []int{1, 7, 64} {
+				label := fmt.Sprintf("%s size %d chunk %d", alg, size, chunkRows)
+				svc := ingestAll(t, contract, pA, pB, relA, relB, false, chunkRows)
+				assertSameUpload(t, base, svc, pA.name, label)
+				assertSameUpload(t, base, svc, pB.name, label)
+				out := svc.RunContract()
+				if baseOut.Err != nil {
+					// Some algorithms refuse degenerate inputs (alg3 rejects
+					// an empty relation); the streamed path must reproduce
+					// the exact verdict, not invent one of its own.
+					if out.Err == nil || out.Err.Error() != baseOut.Err.Error() {
+						t.Fatalf("%s: execution verdict %v, legacy verdict %v", label, out.Err, baseOut.Err)
+					}
+					continue
+				}
+				if out.Err != nil {
+					t.Fatalf("%s: streamed execution failed: %v", label, out.Err)
+				}
+				if out.Stats != baseOut.Stats {
+					t.Fatalf("%s: stats diverge from legacy:\n got %+v\nwant %+v", label, out.Stats, baseOut.Stats)
+				}
+				if len(out.Rows) != len(baseOut.Rows) {
+					t.Fatalf("%s: %d output cells, legacy produced %d", label, len(out.Rows), len(baseOut.Rows))
+				}
+				for i := range out.Rows {
+					if !bytes.Equal(out.Rows[i], baseOut.Rows[i]) {
+						t.Fatalf("%s: output cell %d differs from legacy", label, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingLargeUploadByteIdentity is the 10k-row point of the size
+// grid: the join would dominate the suite, so only the upload-equivalence
+// half of the property is asserted at this size.
+func TestStreamingLargeUploadByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-row upload grid skipped in -short")
+	}
+	pA, pB, pC := newParty(t, "p1"), newParty(t, "p2"), newParty(t, "r")
+	pred := PredicateSpec{Kind: "equi", AttrA: "key", AttrB: "key"}
+	relA := relation.GenKeyed(relation.NewRand(31), 10000, 50)
+	relB := relation.GenKeyed(relation.NewRand(32), 16, 5)
+	contract := buildContract(t, "alg5", pA, pB, pC, pred, 0)
+
+	base := ingestAll(t, contract, pA, pB, relA, relB, true, 0)
+	for _, chunkRows := range []int{1, 7, 64} {
+		label := fmt.Sprintf("10k chunk %d", chunkRows)
+		svc := ingestAll(t, contract, pA, pB, relA, relB, false, chunkRows)
+		assertSameUpload(t, base, svc, pA.name, label)
+		assertSameUpload(t, base, svc, pB.name, label)
+	}
+}
