@@ -21,6 +21,9 @@ type options struct {
 	uploadWindow   int
 	uploadDeadline time.Duration
 	chunkRows      int
+	maxResultBytes int64
+	resultTTL      time.Duration
+	legacyUpload   bool
 }
 
 // parseFlags binds the flag set, parses args, and validates the result.
@@ -41,6 +44,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.uploadWindow, "upload-window", 0, "chunk credit window W per upload stream; 0 selects the default")
 	fs.DurationVar(&o.uploadDeadline, "upload-deadline", 0, "per-upload wall-clock bound; a stalled stream fails the job (0 leaves only -timeout)")
 	fs.IntVar(&o.chunkRows, "chunk-rows", 0, "rows per upload chunk sent by the demo clients; 0 selects the default")
+	fs.Int64Var(&o.maxResultBytes, "max-result-bytes", 0, "byte cap of the durable result store per shard; LRU-evicts over it (0 is unbounded)")
+	fs.DurationVar(&o.resultTTL, "result-ttl", 0, "stored results unfetched for this long are evicted; 0 keeps them forever")
+	fs.BoolVar(&o.legacyUpload, "legacy-upload", false, "re-enable the deprecated one-shot legacy upload protocol")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -77,6 +83,12 @@ func (o *options) validate() error {
 	}
 	if o.chunkRows < 0 {
 		return fmt.Errorf("-chunk-rows must not be negative, got %d", o.chunkRows)
+	}
+	if o.maxResultBytes < 0 {
+		return fmt.Errorf("-max-result-bytes must not be negative, got %d", o.maxResultBytes)
+	}
+	if o.resultTTL < 0 {
+		return fmt.Errorf("-result-ttl must not be negative, got %v", o.resultTTL)
 	}
 	return nil
 }

@@ -67,17 +67,20 @@ func main() {
 	}
 
 	rt, err := fleet.New(fleet.Config{Config: server.Config{
-		Shards:         o.shards,
-		Workers:        o.workers,
-		QueueDepth:     o.queue,
-		Memory:         64,
-		DevicesPerJob:  o.devices,
-		JobTimeout:     o.timeout,
-		MaxUploadBytes: o.maxUploadBytes,
-		UploadWindow:   o.uploadWindow,
-		UploadDeadline: o.uploadDeadline,
-		Logf:           log.Printf,
-		DataDir:        o.dataDir,
+		Shards:            o.shards,
+		Workers:           o.workers,
+		QueueDepth:        o.queue,
+		Memory:            64,
+		DevicesPerJob:     o.devices,
+		JobTimeout:        o.timeout,
+		MaxUploadBytes:    o.maxUploadBytes,
+		UploadWindow:      o.uploadWindow,
+		UploadDeadline:    o.uploadDeadline,
+		MaxResultBytes:    o.maxResultBytes,
+		ResultTTL:         o.resultTTL,
+		AllowLegacyUpload: o.legacyUpload,
+		Logf:              log.Printf,
+		DataDir:           o.dataDir,
 	}})
 	check(err)
 	fmt.Printf("join fleet up: %d shard(s), worker pool P=%d and queue depth %d each\n",

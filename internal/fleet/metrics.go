@@ -60,6 +60,9 @@ func aggregate(shards []server.Snapshot) server.Snapshot {
 		if s.Devices.Max > out.Devices.Max {
 			out.Devices.Max = s.Devices.Max
 		}
+		out.ResultStoreBytes += s.ResultStoreBytes
+		out.ResultStoreEvictions += s.ResultStoreEvictions
+		out.ResultStoreRecoveryEvictions += s.ResultStoreRecoveryEvictions
 	}
 	return out
 }

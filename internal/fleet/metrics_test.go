@@ -99,6 +99,7 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
         "failed": 1,
         "pending": 0,
         "running": 0,
+        "stored": 0,
         "uploading": 0
       },
       "queue_depth": 0,
@@ -116,7 +117,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
         "parallel_runs": 0,
         "attached": 0,
         "max": 0
-      }
+      },
+      "result_store_bytes": 0,
+      "result_store_evictions": 0,
+      "result_store_recovery_evictions": 0
     },
     {
       "shard": 1,
@@ -126,6 +130,7 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
         "failed": 0,
         "pending": 1,
         "running": 0,
+        "stored": 0,
         "uploading": 0
       },
       "queue_depth": 0,
@@ -143,7 +148,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
         "parallel_runs": 0,
         "attached": 0,
         "max": 0
-      }
+      },
+      "result_store_bytes": 0,
+      "result_store_evictions": 0,
+      "result_store_recovery_evictions": 0
     }
   ],
   "fleet": {
@@ -153,6 +161,7 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       "failed": 1,
       "pending": 1,
       "running": 0,
+      "stored": 0,
       "uploading": 0
     },
     "queue_depth": 0,
@@ -170,7 +179,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       "parallel_runs": 0,
       "attached": 0,
       "max": 0
-    }
+    },
+    "result_store_bytes": 0,
+    "result_store_evictions": 0,
+    "result_store_recovery_evictions": 0
   },
   "spills": 0
 }`

@@ -120,10 +120,11 @@ func TestDuplicateUploadKeepsMetricsConsistent(t *testing.T) {
 	}
 }
 
-// TestLateRecipientAfterDelivery: result rows are dropped once delivered,
-// so a recipient that connects (or reconnects) after delivery must get the
-// typed ErrResultUnavailable refusal — previously this path handed Deliver
-// an outcome with neither Err nor Schema and panicked in the wire encoder.
+// TestLateRecipientAfterDelivery: delivery no longer drops the result —
+// it lives in the durable result store — so a recipient that connects (or
+// reconnects) after the job reached Delivered is served the exact join
+// again from the store instead of the historical ErrResultUnavailable
+// refusal.
 func TestLateRecipientAfterDelivery(t *testing.T) {
 	srv, err := New(Config{Workers: 1, Memory: 16})
 	if err != nil {
@@ -136,9 +137,11 @@ func TestLateRecipientAfterDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	driveToDelivered(t, srv, g, j)
-	if o := <-g.pipeRecipient(t, srv); o.err == nil || !strings.Contains(o.err.Error(), "no longer available") {
-		t.Fatalf("late recipient outcome = %+v, want ErrResultUnavailable", o)
+	o := <-g.pipeRecipient(t, srv)
+	if o.err != nil {
+		t.Fatalf("late recipient refused: %v (want a re-fetch from the result store)", o.err)
 	}
+	assertSameRows(t, o.result, g.wantJoin(), "late-recip")
 }
 
 // TestWALFailureCounterTracksLostTransitions: once an injected fsync
@@ -146,7 +149,8 @@ func TestLateRecipientAfterDelivery(t *testing.T) {
 // but fails its append — and each one must be visible on the metrics
 // surface, not just in per-transition log lines. Appends: 1=registration,
 // 2=pending->uploading (fsync fails, seals the log), then
-// uploading->running and running->delivered fail against the sealed log.
+// uploading->running, the result-stored manifest record, running->stored,
+// and stored->delivered all fail against the sealed log.
 func TestWALFailureCounterTracksLostTransitions(t *testing.T) {
 	dir := t.TempDir()
 	faults := wal.NewFaults()
@@ -162,7 +166,7 @@ func TestWALFailureCounterTracksLostTransitions(t *testing.T) {
 		t.Fatal(err)
 	}
 	driveToDelivered(t, srv, g, j)
-	if got := srv.MetricsSnapshot().WALAppendFailures; got != 3 {
-		t.Fatalf("wal_append_failures = %d, want 3 (every transition after the seal)", got)
+	if got := srv.MetricsSnapshot().WALAppendFailures; got != 5 {
+		t.Fatalf("wal_append_failures = %d, want 5 (every append after the seal)", got)
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -10,21 +11,42 @@ import (
 )
 
 // ErrResultUnavailable answers a recipient connecting to a job whose
-// result was already delivered. Result rows are retained neither in memory
-// after delivery nor in the WAL (only the Delivered verdict is durable),
-// so a late or reconnecting recipient — including one reconnecting to a
-// Delivered tombstone after a host restart — gets this definite typed
-// refusal instead of a replayed result.
+// result is gone without a durable eviction verdict — a job whose result
+// never reached the store and whose Delivered tombstone predates any
+// manifest. Evictions the store can vouch for answer with the richer
+// ErrResultEvicted instead.
 var ErrResultUnavailable = errors.New("server: result already delivered; no longer available")
+
+// ErrResultEvicted answers a recipient connecting to a job whose result
+// was durably stored once but has since been evicted. Match with
+// errors.Is; the concrete *ResultEvictedError carries the cause (TTL
+// expiry, byte-cap LRU, a torn segment, or a pre-store-era delivery) so
+// clients can distinguish "gone forever" flavours.
+var ErrResultEvicted = errors.New("server: result evicted from the durable store")
+
+// ResultEvictedError is the concrete ErrResultEvicted with its cause.
+type ResultEvictedError struct{ Cause string }
+
+// Error implements error.
+func (e *ResultEvictedError) Error() string {
+	return fmt.Sprintf("server: result evicted from the durable store (%s)", e.Cause)
+}
+
+// Is matches the ErrResultEvicted sentinel.
+func (e *ResultEvictedError) Is(target error) bool { return target == ErrResultEvicted }
 
 // State is a job's position in its lifecycle. States only move forward:
 //
-//	Pending → Uploading → Running → Delivered
+//	Pending → Uploading → Running → Stored → Delivered
 //	                 \________\___→ Failed
 //
 // A ready job (all uploads in, all recipients connected) sits in the FIFO
 // queue in state Uploading until a worker picks it up; the queue-depth
-// gauge counts those.
+// gauge counts those. A successful run lands in Stored — the sealed result
+// is in the durable result store and recipients are being (re)served from
+// it — and moves to Delivered once every contracted recipient has fetched
+// its copy. (Stored's ordinal sits after Failed so WAL records from older
+// logs replay unchanged.)
 type State int32
 
 const (
@@ -40,8 +62,12 @@ const (
 	// queue backpressure, cancellation, deadline, or shutdown). Recipients
 	// that connected are told why.
 	StateFailed
+	// StateStored: the run succeeded and the sealed result sits in the
+	// durable result store; delivery to the contracted recipients is in
+	// progress (possibly across disconnects and restarts).
+	StateStored
 
-	numStates = 5
+	numStates = 6
 )
 
 // String implements fmt.Stringer.
@@ -57,15 +83,23 @@ func (s State) String() string {
 		return "delivered"
 	case StateFailed:
 		return "failed"
+	case StateStored:
+		return "stored"
 	}
 	return "unknown"
 }
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final. Stored is deliberately not
+// terminal: the job still owes deliveries.
 func (s State) Terminal() bool { return s == StateDelivered || s == StateFailed }
 
+// Settled reports that the job's outcome is decided (result stored, or the
+// job terminal): recipients waiting on it can be answered.
+func (s State) Settled() bool { return s.Terminal() || s == StateStored }
+
 // Job is one execution of a registered contract: it gathers the parties'
-// sessions, waits in the ready queue, runs on a worker, and delivers.
+// sessions, waits in the ready queue, runs on a worker, stores its result,
+// and serves deliveries from the store until every recipient has fetched.
 type Job struct {
 	svc    *service.Service
 	srv    *Server
@@ -75,22 +109,31 @@ type Job struct {
 	providers      int
 	wantRecipients int
 
-	mu         sync.Mutex
-	state      State
-	uploaded   int
-	recipients []parkedRecipient
-	enqueued   bool
-	err        error
-	runStart   time.Time
+	mu       sync.Mutex
+	state    State
+	uploaded int
+	// present names the distinct recipients currently connected and
+	// waiting (readiness counts them); served names those that completed a
+	// fetch since the result was stored.
+	present  map[string]bool
+	served   map[string]bool
+	enqueued bool
+	err      error
+	runStart time.Time
+	// out caches the outcome between Stored and Delivered so first-wave
+	// recipients are served without a store read; re-fetches after
+	// Delivered load from the result store.
+	out *service.Outcome
 
-	// done closes after the terminal transition and all deliveries.
-	done chan struct{}
-}
-
-// parkedRecipient is a recipient session awaiting the result.
-type parkedRecipient struct {
-	name string
-	sess *service.Session
+	// settled closes when the outcome is decided (result stored, or the
+	// job failed): recipients waiting on the job wake up and serve
+	// themselves.
+	settled    chan struct{}
+	settleOnce sync.Once
+	// done closes after the terminal transition: Delivered once every
+	// contracted recipient fetched, or Failed.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // Contract returns the contract this job executes.
@@ -152,12 +195,12 @@ func (j *Job) noteSession() {
 }
 
 // readyLocked reports (once) that every provider uploaded and every
-// recipient is parked; the caller must then enqueue the job.
+// recipient is connected; the caller must then enqueue the job.
 func (j *Job) readyLocked() bool {
 	if j.enqueued || j.state.Terminal() {
 		return false
 	}
-	if j.uploaded >= j.providers && len(j.recipients) >= j.wantRecipients {
+	if j.uploaded >= j.providers && len(j.present) >= j.wantRecipients {
 		j.enqueued = true
 		return true
 	}
@@ -176,32 +219,80 @@ func (j *Job) providerUploaded() {
 	}
 }
 
-// addRecipient parks a recipient session for delivery. If the job already
-// failed, the recipient is answered immediately.
-func (j *Job) addRecipient(name string, sess *service.Session) error {
+// noteRecipient registers a connected recipient, moving Pending →
+// Uploading and enqueueing the job when it becomes ready. Recipients
+// arriving after the outcome is settled never affect readiness — they are
+// served straight from the settled job.
+func (j *Job) noteRecipient(name string) {
 	j.mu.Lock()
-	if j.state.Terminal() {
-		out := service.Outcome{Err: j.err, Algorithm: j.svc.Contract.Algorithm}
-		if j.state == StateDelivered {
-			// A Delivered job holds no result rows (they are dropped after
-			// delivery and never persisted), so delivering j.err == nil here
-			// would hand Deliver an outcome with no Schema and panic. The
-			// recipient gets a typed refusal instead.
-			out.Err = ErrResultUnavailable
-		}
+	if j.state.Settled() {
 		j.mu.Unlock()
-		return j.svc.Deliver(sess, out)
+		return
 	}
 	if j.state == StatePending {
 		j.setStateLocked(StateUploading)
 	}
-	j.recipients = append(j.recipients, parkedRecipient{name: name, sess: sess})
+	if j.present == nil {
+		j.present = make(map[string]bool)
+	}
+	j.present[name] = true
 	ready := j.readyLocked()
 	j.mu.Unlock()
 	if ready {
 		j.srv.enqueue(j)
 	}
-	return nil
+}
+
+// settle wakes every recipient waiting on the outcome. Idempotent.
+func (j *Job) settle() { j.settleOnce.Do(func() { close(j.settled) }) }
+
+// closeDone performs the done close. Idempotent, because a job can reach
+// Delivered through concurrent recipient completions and recovery paths.
+func (j *Job) closeDone() { j.doneOnce.Do(func() { close(j.done) }) }
+
+// Settled returns a channel that closes once the job's outcome is decided
+// (result stored, or the job failed).
+func (j *Job) Settled() <-chan struct{} { return j.settled }
+
+// outcomeForDelivery resolves what a waking recipient is served: the
+// failure verdict, the cached in-memory outcome, or the result loaded back
+// from the durable store. A missing or evicted result returns the typed
+// refusal (ErrResultEvicted / ErrResultUnavailable) for the caller to
+// deliver in-band.
+func (j *Job) outcomeForDelivery() (service.Outcome, error) {
+	j.mu.Lock()
+	state, jerr, out := j.state, j.err, j.out
+	j.mu.Unlock()
+	if state == StateFailed {
+		return service.Outcome{Err: jerr, Algorithm: j.svc.Contract.Algorithm}, nil
+	}
+	if out != nil {
+		return *out, nil
+	}
+	return j.srv.loadResult(j.svc.Contract.ID)
+}
+
+// recipientServed counts a completed fetch; once every contracted
+// recipient has fetched, the job transitions Stored → Delivered and done
+// closes. The result stays in the store for re-fetches until evicted.
+func (j *Job) recipientServed(name string) {
+	j.mu.Lock()
+	if j.state != StateStored {
+		j.mu.Unlock()
+		return
+	}
+	if j.served == nil {
+		j.served = make(map[string]bool)
+	}
+	j.served[name] = true
+	if len(j.served) < j.wantRecipients {
+		j.mu.Unlock()
+		return
+	}
+	j.setStateLocked(StateDelivered)
+	j.out = nil // later re-fetches load from the store
+	j.mu.Unlock()
+	j.closeDone()
 }
 
 // startRun marks the job Running. It returns false when the job reached a
@@ -218,8 +309,14 @@ func (j *Job) startRun() bool {
 	return true
 }
 
-// finish delivers a computed outcome to every parked recipient and settles
-// the terminal state. No-op if the job already failed (e.g. deadline fired
+// finish settles a computed outcome. A failure settles Failed and wakes
+// waiting recipients with the verdict. A success persists the sealed
+// result to the durable store and its manifest record to the WAL first,
+// then transitions Running → Stored: if the process dies mid-persist, the
+// WAL never says Stored and recovery fails the job as interrupted instead
+// of pointing recipients at nothing. Recipients then serve themselves
+// (Server.serveRecipient); the last contracted fetch moves Stored →
+// Delivered. No-op if the job already failed (e.g. deadline fired
 // mid-run).
 func (j *Job) finish(out service.Outcome) {
 	j.mu.Lock()
@@ -227,59 +324,71 @@ func (j *Job) finish(out service.Outcome) {
 		j.mu.Unlock()
 		return
 	}
-	recips := j.recipients
-	j.recipients = nil
-	j.err = out.Err
 	if out.Err != nil {
+		j.err = out.Err
 		j.setStateLocked(StateFailed)
-	} else {
-		j.setStateLocked(StateDelivered)
+		elapsed := time.Since(j.runStart)
+		j.mu.Unlock()
+		j.settle()
+		j.cancel()
+		j.srv.metrics.recordRun(out.Algorithm, false, elapsed)
+		j.srv.metrics.addStats(out.Stats)
+		j.srv.metrics.recordDevices(out.Devices)
+		j.closeDone()
+		return
 	}
+	j.mu.Unlock()
+	j.srv.storeResult(j.svc.Contract.ID, &out)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Failed while persisting (deadline, shutdown): the verdict stands;
+		// the stored segment is an orphan the next recovery removes.
+		j.mu.Unlock()
+		return
+	}
+	j.out = &out
+	j.setStateLocked(StateStored)
 	elapsed := time.Since(j.runStart)
 	j.mu.Unlock()
+	j.settle()
+	// The job deadline no longer governs: the result is durable, and
+	// delivery pace belongs to the recipients (and the store's TTL).
 	j.cancel()
-	for _, r := range recips {
-		// Best effort: a recipient that hung up forfeits its copy; the
-		// others still get theirs.
-		_ = j.svc.Deliver(r.sess, out)
-	}
-	j.srv.metrics.recordRun(out.Algorithm, out.Err == nil, elapsed)
+	j.srv.metrics.recordRun(out.Algorithm, true, elapsed)
 	j.srv.metrics.addStats(out.Stats)
 	j.srv.metrics.recordDevices(out.Devices)
-	close(j.done)
 }
 
-// fail moves the job to Failed with the given cause, answering any parked
-// recipients. skipRunning leaves in-flight jobs alone (graceful shutdown
-// drains them). Returns true if this call performed the transition.
+// fail moves the job to Failed with the given cause, waking any waiting
+// recipients with it. skipRunning leaves in-flight jobs alone (graceful
+// shutdown drains them); a job whose result is already Stored can no
+// longer fail — the outcome is durable. Returns true if this call
+// performed the transition.
 func (j *Job) fail(cause error, skipRunning bool) bool {
 	j.mu.Lock()
-	if j.state.Terminal() || (skipRunning && j.state == StateRunning) {
+	if j.state.Terminal() || j.state == StateStored || (skipRunning && j.state == StateRunning) {
 		j.mu.Unlock()
 		return false
 	}
 	j.err = cause
-	recips := j.recipients
-	j.recipients = nil
 	j.setStateLocked(StateFailed)
 	j.mu.Unlock()
+	j.settle()
 	j.cancel()
-	out := service.Outcome{Err: cause, Algorithm: j.svc.Contract.Algorithm}
-	for _, r := range recips {
-		_ = j.svc.Deliver(r.sess, out)
-	}
 	j.srv.metrics.recordFailure(j.svc.Contract.Algorithm)
-	close(j.done)
+	j.closeDone()
 	return true
 }
 
 // watch enforces the job's context: cancellation or deadline expiry fails
 // the job wherever it is in the lifecycle (a running job is failed so its
-// recipients learn the outcome even if the worker is still grinding).
+// recipients learn the outcome even if the worker is still grinding). A
+// settled job is out of the deadline's reach — a stored result waits for
+// its recipients as long as the store keeps it.
 func (j *Job) watch() {
 	select {
 	case <-j.ctx.Done():
 		j.fail(j.ctx.Err(), false)
-	case <-j.done:
+	case <-j.settled:
 	}
 }

@@ -156,6 +156,16 @@ type Snapshot struct {
 	Coprocessor sim.Stats `json:"coprocessor"`
 	// Devices summarises per-job coprocessor fleets.
 	Devices DeviceSnapshot `json:"devices"`
+	// ResultStoreBytes is the durable result store's live accounted bytes
+	// (never above Config.MaxResultBytes when one is set).
+	ResultStoreBytes int64 `json:"result_store_bytes"`
+	// ResultStoreEvictions counts results evicted at runtime: TTL expiry,
+	// LRU eviction under the byte cap, and segments that rotted on disk.
+	ResultStoreEvictions uint64 `json:"result_store_evictions"`
+	// ResultStoreRecoveryEvictions counts results lost at recovery — torn
+	// segments, manifest records with no surviving segment, and orphan
+	// segments the manifest never acknowledged.
+	ResultStoreRecoveryEvictions uint64 `json:"result_store_recovery_evictions"`
 }
 
 // DeviceSnapshot summarises how many coprocessors jobs attached.
@@ -183,7 +193,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			Max:          m.maxDevices.Load(),
 		},
 	}
-	for s := StatePending; s <= StateFailed; s++ {
+	for s := StatePending; s < numStates; s++ {
 		snap.Jobs[s.String()] = m.gauges[s].Load()
 	}
 	m.mu.Lock()

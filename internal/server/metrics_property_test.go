@@ -5,13 +5,16 @@ import (
 	"testing"
 )
 
-// legalMoves are the job lifecycle's forward edges (see State): every
-// non-terminal state can fail, Pending gains a session, Uploading is
-// picked up by a worker, Running delivers.
+// legalMoves are the job lifecycle's forward edges (see State): Pending
+// gains a session, Uploading is picked up by a worker, Running persists
+// its result, Stored serves its last recipient. Every pre-Stored state
+// can fail; a Stored job cannot (its result is already durable), so its
+// only edge is Delivered.
 var legalMoves = map[State][]State{
 	StatePending:   {StateUploading, StateFailed},
 	StateUploading: {StateRunning, StateFailed},
-	StateRunning:   {StateDelivered, StateFailed},
+	StateRunning:   {StateStored, StateFailed},
+	StateStored:    {StateDelivered},
 }
 
 // TestMetricsGaugeInvariant drives random legal lifecycle histories —

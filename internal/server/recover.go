@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ppj/internal/server/resultstore"
 	"ppj/internal/server/wal"
 	"ppj/internal/service"
 )
@@ -29,6 +30,12 @@ type recoveredJob struct {
 	contract *service.Contract
 	state    State
 	cause    string
+	// resultStored reports a result-stored manifest record for the
+	// contract; evictCause carries the last result-evicted record's cause.
+	// Together with the segments the result store's scan found on disk,
+	// they drive the recovery reconciliation in recoverResult.
+	resultStored bool
+	evictCause   string
 }
 
 // foldRecords replays WAL records into per-contract final states,
@@ -61,6 +68,14 @@ func foldRecords(recs []wal.Record) ([]*recoveredJob, error) {
 			}
 			rj.state = State(rec.To)
 			rj.cause = rec.Cause
+		case wal.TypeResultStored:
+			if rj, ok := byID[rec.ContractID]; ok {
+				rj.resultStored = true
+			}
+		case wal.TypeResultEvicted:
+			if rj, ok := byID[rec.ContractID]; ok {
+				rj.evictCause = rec.Cause
+			}
 		}
 	}
 	return order, nil
@@ -70,19 +85,61 @@ func foldRecords(recs []wal.Record) ([]*recoveredJob, error) {
 // Jobs that were Pending resume live (no data had arrived; the parties
 // simply reconnect). Jobs that were Uploading or Running are failed with
 // ErrInterrupted — and that verdict is appended to the WAL, so a second
-// restart reaches the identical table. Terminal jobs become tombstones
-// that answer reconnecting recipients immediately.
+// restart reaches the identical table. Jobs that were Stored resume
+// serving their result from the durable store; Delivered and Failed jobs
+// become tombstones that answer reconnecting recipients immediately. The
+// result store is then reconciled against the replayed manifest: stored
+// results with no surviving segment are tombstoned as torn, evictions the
+// manifest recorded are rematerialised, and orphan segments whose
+// manifest record never made the log are dropped.
 func (s *Server) recover(recs []wal.Record) error {
 	folded, err := foldRecords(recs)
 	if err != nil {
 		return err
 	}
+	manifested := make(map[string]bool, len(folded))
 	for _, rj := range folded {
 		if err := s.recoverJob(rj); err != nil {
 			return fmt.Errorf("server: recovering contract %q: %w", rj.contract.ID, err)
 		}
+		s.recoverResult(rj)
+		if rj.resultStored {
+			manifested[rj.contract.ID] = true
+		}
+	}
+	for _, id := range s.results.IDs() {
+		if !manifested[id] {
+			s.results.Remove(id)
+		}
 	}
 	return nil
+}
+
+// recoverResult reconciles one job's durable result manifest against what
+// the result store's scan found on disk.
+func (s *Server) recoverResult(rj *recoveredJob) {
+	id := rj.contract.ID
+	switch {
+	case rj.evictCause != "":
+		// The manifest's last word is an eviction: rematerialise the
+		// tombstone (quietly — the record is already durable).
+		s.results.MarkEvicted(id, resultstore.Cause(rj.evictCause))
+	case rj.resultStored && !s.results.Has(id):
+		// The manifest says stored, but no intact segment survived (torn
+		// segments were dropped by the scan): tombstone as torn, journaled
+		// so the next replay agrees.
+		s.results.MarkLost(id)
+	case rj.resultStored && !rj.state.Settled():
+		// The crash hit between the manifest append and the Stored
+		// transition: the job recovers as interrupted, so its intact
+		// segment serves no one. Evict it, journaled.
+		s.results.Discard(id, resultstore.CauseTorn)
+	case rj.state == StateDelivered && !rj.resultStored:
+		// A job delivered before the result store existed: its result was
+		// never persisted, so reconnecting recipients get the typed
+		// pre-store eviction instead of a bare "unavailable".
+		s.results.MarkEvicted(id, resultstore.CausePreStore)
+	}
 }
 
 func (s *Server) recoverJob(rj *recoveredJob) error {
@@ -91,9 +148,12 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 		return err
 	}
 	svc.Devices = s.cfg.DevicesPerJob
+	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
+	svc.UploadWindow = s.cfg.UploadWindow
+	svc.AllowLegacyUpload = s.cfg.AllowLegacyUpload
 	providers, recipients := rj.contract.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
-	if s.cfg.JobTimeout > 0 && !rj.state.Terminal() {
+	if s.cfg.JobTimeout > 0 && !rj.state.Settled() {
 		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	}
 	j := &Job{
@@ -104,6 +164,7 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 		providers:      providers,
 		wantRecipients: recipients,
 		state:          rj.state,
+		settled:        make(chan struct{}),
 		done:           make(chan struct{}),
 	}
 	if err := s.registry.add(j); err != nil {
@@ -114,10 +175,19 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 	switch {
 	case rj.state == StatePending:
 		go j.watch()
+	case rj.state == StateStored:
+		// The result outlived the process in the durable store; the job
+		// resumes serving it from there (outcomeForDelivery finds no cached
+		// outcome and loads the segment). The outcome is settled and there
+		// is nothing left to run, cancel, or time out — but done stays
+		// open: the job still owes deliveries.
+		j.settle()
+		cancel()
 	case rj.state.Terminal():
 		j.err = recoveredCause(rj)
+		j.settle()
 		cancel()
-		close(j.done)
+		j.closeDone()
 	default:
 		// Uploading or Running at crash time: the uploads are gone. fail()
 		// appends the interrupted verdict to the WAL and settles metrics,

@@ -99,6 +99,7 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
     "failed": 1,
     "pending": 1,
     "running": 0,
+    "stored": 0,
     "uploading": 0
   },
   "queue_depth": 0,
@@ -116,7 +117,10 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
     "parallel_runs": 0,
     "attached": 0,
     "max": 0
-  }
+  },
+  "result_store_bytes": 292,
+  "result_store_evictions": 0,
+  "result_store_recovery_evictions": 0
 }`
 	if string(js) != wantSnap {
 		t.Fatalf("recovered metrics snapshot:\n%s\nwant:\n%s", js, wantSnap)
@@ -131,11 +135,14 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
 	if o := <-gB.pipeRecipient(t, srv2); o.err == nil || !strings.Contains(o.err.Error(), "canceled") {
 		t.Fatalf("recovered-failed recipient outcome = %+v, want replayed cancellation", o)
 	}
-	// So does the recovered-Delivered tombstone: its rows were never
-	// persisted, so the recipient gets the typed refusal — not a hang, and
-	// not the nil-schema delivery panic this path once had.
-	if o := <-gA.pipeRecipient(t, srv2); o.err == nil || !strings.Contains(o.err.Error(), "no longer available") {
-		t.Fatalf("recovered-delivered recipient outcome = %+v, want ErrResultUnavailable", o)
+	// The recovered-Delivered job's result outlived the crash in the
+	// durable result store (the 292 bytes in the snapshot above): a
+	// reconnecting recipient is served the exact join again, across the
+	// restart.
+	if o := <-gA.pipeRecipient(t, srv2); o.err != nil {
+		t.Fatalf("recovered-delivered re-fetch refused: %v", o.err)
+	} else {
+		assertSameRows(t, o.result, gA.wantJoin(), "rec-a refetch")
 	}
 
 	// The Pending job resumed live: drive it to Delivered on the new
@@ -170,18 +177,20 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
 // the deterministic recovered verdict: a job whose durable state was
 // Pending resumes; Uploading or Running at crash time is ErrInterrupted —
 // even when the in-memory job went further (or failed differently) after
-// the crash instant.
+// the crash instant; Stored at crash time resumes serving its durable
+// result to reconnecting recipients.
 func TestCrashBetweenTransitions(t *testing.T) {
 	cases := []struct {
 		name      string
 		crashSite string
 		cancel    bool // cancel after the first upload instead of finishing
 		wantState State
-		wantErr   error // nil means the job must be live (resumable)
+		wantErr   error // nil means the job must be live or serving
 	}{
 		{"pending-uploading", TransitionSite(StatePending, StateUploading), false, StatePending, nil},
 		{"uploading-running", TransitionSite(StateUploading, StateRunning), false, StateFailed, ErrInterrupted},
-		{"running-delivered", TransitionSite(StateRunning, StateDelivered), false, StateFailed, ErrInterrupted},
+		{"running-stored", TransitionSite(StateRunning, StateStored), false, StateFailed, ErrInterrupted},
+		{"stored-delivered", TransitionSite(StateStored, StateDelivered), false, StateStored, nil},
 		{"uploading-failed", TransitionSite(StateUploading, StateFailed), true, StateFailed, ErrInterrupted},
 	}
 	for _, tc := range cases {
@@ -231,6 +240,19 @@ func TestCrashBetweenTransitions(t *testing.T) {
 				if o := <-g.pipeRecipient(t, srv2); o.err == nil || !strings.Contains(o.err.Error(), "interrupted") {
 					t.Fatalf("recipient outcome = %+v, want interrupted failure", o)
 				}
+			} else if tc.wantState == StateStored {
+				// The result survived in the durable store: a reconnecting
+				// recipient is served the exact join without re-running
+				// anything, and the served fetch completes the lifecycle.
+				if o := <-g.pipeRecipient(t, srv2); o.err != nil {
+					t.Fatalf("stored-job re-fetch refused: %v", o.err)
+				} else {
+					assertSameRows(t, o.result, g.wantJoin(), tc.name)
+				}
+				waitDone(t, j2)
+				if j2.State() != StateDelivered {
+					t.Fatalf("served job ended %s, want Delivered", j2.State())
+				}
 			} else {
 				// The resumed job runs to completion on the new server.
 				srv2.Start()
@@ -268,7 +290,8 @@ func TestRecoveryAfterWriteFaults(t *testing.T) {
 		name string
 		set  func(f *wal.Faults)
 		// Appends in a full run: 1=registration, 2=pending->uploading,
-		// 3=uploading->running, 4=running->delivered.
+		// 3=uploading->running, 4=result-stored manifest, 5=running->stored,
+		// 6=stored->delivered.
 		wantState State
 		wantErr   error
 	}{

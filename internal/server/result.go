@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"ppj/internal/relation"
+	"ppj/internal/server/resultstore"
+	"ppj/internal/service"
+)
+
+// resultMeta is the stored half of an Outcome that is not rows: everything
+// delivery needs to rebuild the begin frame after a restart. It is sealed
+// inside the segment's header record (the aggregate cell in particular
+// must never sit on the host's disk in plaintext).
+type resultMeta struct {
+	Attrs     []relation.Attr
+	HasSchema bool
+	Padded    bool
+	Agg       []byte
+	Algorithm string
+	Devices   int
+}
+
+// encodeResultMeta serialises an outcome's non-row fields.
+func encodeResultMeta(out *service.Outcome) ([]byte, error) {
+	m := resultMeta{Padded: out.Padded, Agg: out.Agg, Algorithm: out.Algorithm, Devices: out.Devices}
+	if out.Schema != nil {
+		m.HasSchema = true
+		m.Attrs = make([]relation.Attr, out.Schema.NumAttrs())
+		for i := range m.Attrs {
+			m.Attrs[i] = out.Schema.Attr(i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("server: encoding result meta: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResultMeta is encodeResultMeta's inverse (rows are attached by the
+// caller).
+func decodeResultMeta(raw []byte) (service.Outcome, error) {
+	var m resultMeta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&m); err != nil {
+		return service.Outcome{}, fmt.Errorf("server: decoding result meta: %w", err)
+	}
+	out := service.Outcome{Padded: m.Padded, Agg: m.Agg, Algorithm: m.Algorithm, Devices: m.Devices}
+	if m.HasSchema {
+		schema, err := relation.NewSchema(m.Attrs...)
+		if err != nil {
+			return service.Outcome{}, err
+		}
+		out.Schema = schema
+	}
+	return out, nil
+}
+
+// walJournal routes the result store's manifest events into the server's
+// job Store, so the manifest and the job lifecycle share one log. An
+// append the log refuses is counted like any lost transition: the live
+// index keeps going, and a non-zero counter means recovery would lag it.
+type walJournal struct{ s *Server }
+
+// ResultStored implements resultstore.Journal.
+func (w walJournal) ResultStored(id string, size int64) error {
+	if err := w.s.store.LogResultStored(id, size); err != nil {
+		w.s.metrics.walAppendFailed()
+		w.s.logf("server: wal: result stored %s: %v", id, err)
+		return err
+	}
+	return nil
+}
+
+// ResultEvicted implements resultstore.Journal.
+func (w walJournal) ResultEvicted(id, cause string) error {
+	if err := w.s.store.LogResultEvicted(id, cause); err != nil {
+		w.s.metrics.walAppendFailed()
+		w.s.logf("server: wal: result evicted %s (%s): %v", id, cause, err)
+		return err
+	}
+	return nil
+}
+
+// storeResult persists a successful outcome to the result store (segment
+// plus manifest record). Failures don't fail the job: the outcome stays
+// cached in memory for this process's recipients, the refusal or error is
+// durable where it can be (a cap refusal tombstones the ID), and a crash
+// before every recipient fetched resolves against whatever the WAL says.
+func (s *Server) storeResult(id string, out *service.Outcome) {
+	meta, err := encodeResultMeta(out)
+	if err != nil {
+		s.logf("server: result store: %s: %v", id, err)
+		return
+	}
+	if err := s.results.Put(id, meta, out.Rows); err != nil {
+		s.logf("server: result store: %s: %v", id, err)
+	}
+}
+
+// loadResult rebuilds a delivery outcome from the result store. Gone
+// results map to the typed refusals recipients are answered with:
+// *ResultEvictedError (with its durable cause) for anything the store
+// tombstoned, ErrResultUnavailable when there is no trace at all.
+func (s *Server) loadResult(id string) (service.Outcome, error) {
+	meta, rows, err := s.results.Get(id)
+	if err != nil {
+		var ev *resultstore.EvictedError
+		if errors.As(err, &ev) {
+			return service.Outcome{}, &ResultEvictedError{Cause: string(ev.Cause)}
+		}
+		return service.Outcome{}, ErrResultUnavailable
+	}
+	out, err := decodeResultMeta(meta)
+	if err != nil {
+		return service.Outcome{}, err
+	}
+	out.Rows = rows
+	return out, nil
+}
+
+// serveRecipient is a recipient connection's whole life after the
+// handshake: register presence (feeding job readiness), wait for the
+// outcome to settle, then deliver — streamed from the hello's resume
+// offset on v2 sessions, one-shot on older ones. A completed fetch counts
+// toward the Stored → Delivered transition; a broken stream leaves the
+// job Stored and the result in the store, so the recipient can reconnect
+// and resume. Gone results are refused in-band with the typed eviction
+// verdict, which is also returned to the serving layer.
+func (s *Server) serveRecipient(j *Job, name string, sess *service.Session, resume uint32) error {
+	j.noteRecipient(name)
+	<-j.Settled()
+	out, err := j.outcomeForDelivery()
+	if err != nil {
+		_ = j.svc.DeliverStream(sess, service.Outcome{Err: err, Algorithm: j.svc.Contract.Algorithm}, 0)
+		return err
+	}
+	if err := j.svc.DeliverStream(sess, out, resume); err != nil {
+		return fmt.Errorf("server: delivering to %s: %w", name, err)
+	}
+	j.recipientServed(name)
+	return nil
+}

@@ -1,0 +1,373 @@
+package resultstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recJournal records manifest events in order, standing in for the server's
+// WAL seam.
+type recJournal struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (j *recJournal) ResultStored(id string, bytes int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, fmt.Sprintf("stored %s", id))
+	return nil
+}
+
+func (j *recJournal) ResultEvicted(id, cause string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, fmt.Sprintf("evicted %s %s", id, cause))
+	return nil
+}
+
+func (j *recJournal) log() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.events...)
+}
+
+// mkRows builds n rows of the given size with distinct contents.
+func mkRows(n, size int) [][]byte {
+	rows := make([][]byte, n)
+	for i := range rows {
+		r := make([]byte, size)
+		for j := range r {
+			r[j] = byte(i + j + 1)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func wantRows(t *testing.T, s *Store, id string, meta []byte, rows [][]byte) {
+	t.Helper()
+	gotMeta, gotRows, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", id, err)
+	}
+	if string(gotMeta) != string(meta) {
+		t.Fatalf("Get(%s) meta = %q, want %q", id, gotMeta, meta)
+	}
+	if len(gotRows) != len(rows) {
+		t.Fatalf("Get(%s) returned %d rows, want %d", id, len(gotRows), len(rows))
+	}
+	for i := range rows {
+		if string(gotRows[i]) != string(rows[i]) {
+			t.Fatalf("Get(%s) row %d differs", id, i)
+		}
+	}
+}
+
+// TestPutGetPersist is the round-trip contract: results stored in one
+// incarnation are served byte-identically by the next, whether the rows
+// come from the memory cache or back off the sealed segment.
+func TestPutGetPersist(t *testing.T) {
+	dir := t.TempDir()
+	rows := mkRows(5, 40)
+	s, err := Open(Config{Dir: dir, MemCacheBytes: 1}) // force segment reads
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-a", []byte("meta-a"), rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("job-empty", []byte("meta-e"), nil); err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, s, "job-a", []byte("meta-a"), rows)
+	wantRows(t, s, "job-empty", []byte("meta-e"), nil)
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v, want ErrNotFound", err)
+	}
+	if err := s.Put("job-a", nil, nil); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("second Put: %v, want ErrDuplicate", err)
+	}
+	bytes := s.Bytes()
+	if bytes <= 0 {
+		t.Fatalf("accounted bytes = %d", bytes)
+	}
+	s.Close()
+
+	// A fresh store on the same dir rebuilds the index from the segments
+	// alone; the at-rest key survives in the key file.
+	s2, err := Open(Config{Dir: dir, MemCacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Bytes(); got != bytes {
+		t.Fatalf("recovered bytes = %d, want %d", got, bytes)
+	}
+	wantRows(t, s2, "job-a", []byte("meta-a"), rows)
+	wantRows(t, s2, "job-empty", []byte("meta-e"), nil)
+}
+
+// TestMemoryOnlyMode pins the Dir=="" contract: everything works, nothing
+// persists.
+func TestMemoryOnlyMode(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := mkRows(3, 8)
+	if err := s.Put("m", []byte("meta"), rows); err != nil {
+		t.Fatal(err)
+	}
+	wantRows(t, s, "m", []byte("meta"), rows)
+	if want := int64(len("meta") + 3*8); s.Bytes() != want {
+		t.Fatalf("memory accounting = %d, want %d", s.Bytes(), want)
+	}
+}
+
+// TestLRUCapEviction drives the byte cap: the least-recently-read result
+// is evicted (a Get refreshes recency), the tombstone carries CauseCap,
+// the eviction is journaled, and accounted bytes never exceed the cap.
+func TestLRUCapEviction(t *testing.T) {
+	j := &recJournal{}
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size one result, then set the cap to hold exactly two of them.
+	if err := s.Put("a", []byte("m"), mkRows(4, 32)); err != nil {
+		t.Fatal(err)
+	}
+	one := s.Bytes()
+	s.cfg.MaxBytes = 2 * one
+	if err := s.Put("b", []byte("m"), mkRows(4, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c", []byte("m"), mkRows(4, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() > s.cfg.MaxBytes {
+		t.Fatalf("bytes %d exceed cap %d", s.Bytes(), s.cfg.MaxBytes)
+	}
+	if s.Has("b") || !s.Has("a") || !s.Has("c") {
+		t.Fatalf("LRU evicted the wrong result: a=%v b=%v c=%v", s.Has("a"), s.Has("b"), s.Has("c"))
+	}
+	if _, err := os.Stat(SegmentPath(dir, "b")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("evicted segment still on disk: %v", err)
+	}
+	_, _, err = s.Get("b")
+	var ev *EvictedError
+	if !errors.As(err, &ev) || ev.Cause != CauseCap {
+		t.Fatalf("evicted Get: %v, want EvictedError cap", err)
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+	want := []string{"stored a", "stored b", "evicted b cap", "stored c"}
+	if got := j.log(); !equalStrings(got, want) {
+		t.Fatalf("journal = %v, want %v", got, want)
+	}
+}
+
+// TestTooLargeTombstone pins the admission check: a result alone larger
+// than the cap is refused before anything is written, and the ID is
+// tombstoned CauseCap so later readers get a definite verdict.
+func TestTooLargeTombstone(t *testing.T) {
+	j := &recJournal{}
+	s, err := Open(Config{Dir: t.TempDir(), MaxBytes: 64, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("huge", []byte("m"), mkRows(8, 64)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized Put: %v, want ErrTooLarge", err)
+	}
+	if s.Bytes() != 0 {
+		t.Fatalf("refused Put accounted %d bytes", s.Bytes())
+	}
+	var ev *EvictedError
+	if _, _, err := s.Get("huge"); !errors.As(err, &ev) || ev.Cause != CauseCap {
+		t.Fatalf("Get after refusal: %v, want EvictedError cap", err)
+	}
+	if got := j.log(); !equalStrings(got, []string{"evicted huge cap"}) {
+		t.Fatalf("journal = %v", got)
+	}
+}
+
+// TestTTLExpiry drives lazy expiry through the injected clock.
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	j := &recJournal{}
+	s, err := Open(Config{Dir: t.TempDir(), TTL: time.Minute, Journal: j,
+		Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("old", []byte("m"), mkRows(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if err := s.Put("young", []byte("m"), mkRows(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second) // old is 75s stale, young 45s
+	var ev *EvictedError
+	if _, _, err := s.Get("old"); !errors.As(err, &ev) || ev.Cause != CauseTTL {
+		t.Fatalf("expired Get: %v, want EvictedError ttl", err)
+	}
+	if !s.Has("young") {
+		t.Fatal("unexpired result swept")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+	if got := j.log(); !equalStrings(got, []string{"stored old", "stored young", "evicted old ttl"}) {
+		t.Fatalf("journal = %v", got)
+	}
+}
+
+// TestTornSegmentScan pins the recovery contract for a torn write: the
+// header frame is self-checksummed, so a segment corrupted after it is
+// deleted, tombstoned as torn under the right contract ID, journaled, and
+// counted as a recovery eviction — while intact neighbours survive.
+func TestTornSegmentScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("intact", []byte("m"), mkRows(3, 24)); err != nil {
+		t.Fatal(err)
+	}
+	intact := s.Bytes()
+	if err := s.Put("torn", []byte("m"), mkRows(3, 24)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one ciphertext byte near the tail — past the header frame.
+	path := SegmentPath(dir, "torn")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-5] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	j := &recJournal{}
+	s2, err := Open(Config{Dir: dir, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has("intact") || s2.Has("torn") {
+		t.Fatalf("scan verdicts: intact=%v torn=%v", s2.Has("intact"), s2.Has("torn"))
+	}
+	if s2.Bytes() != intact {
+		t.Fatalf("recovered bytes = %d, want %d", s2.Bytes(), intact)
+	}
+	var ev *EvictedError
+	if _, _, err := s2.Get("torn"); !errors.As(err, &ev) || ev.Cause != CauseTorn {
+		t.Fatalf("torn Get: %v, want EvictedError torn", err)
+	}
+	if s2.RecoveryEvictions() != 1 {
+		t.Fatalf("recovery evictions = %d, want 1", s2.RecoveryEvictions())
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn segment not deleted: %v", err)
+	}
+	if got := j.log(); !equalStrings(got, []string{"evicted torn torn"}) {
+		t.Fatalf("journal = %v", got)
+	}
+}
+
+// TestReconcileVerbs pins the three recovery reconciliation verbs the
+// server drives: MarkLost (manifest says stored, no segment), Discard
+// (segment present, job never durably Stored), Remove (orphan segment
+// with no manifest record).
+func TestReconcileVerbs(t *testing.T) {
+	j := &recJournal{}
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MarkLost: tombstone torn, journaled, counted — and idempotent.
+	s.MarkLost("lost")
+	s.MarkLost("lost")
+	if c, ok := s.EvictedCause("lost"); !ok || c != CauseTorn {
+		t.Fatalf("MarkLost cause = %v %v", c, ok)
+	}
+	if s.RecoveryEvictions() != 1 {
+		t.Fatalf("MarkLost recovery evictions = %d, want 1", s.RecoveryEvictions())
+	}
+
+	// MarkEvicted: quiet rematerialisation — no journal entry, no count.
+	s.MarkEvicted("old-era", CausePreStore)
+	if c, _ := s.EvictedCause("old-era"); c != CausePreStore {
+		t.Fatalf("MarkEvicted cause = %v", c)
+	}
+
+	// Discard: drops a live entry with a journaled verdict and a count.
+	if err := s.Put("stranded", []byte("m"), mkRows(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s.Discard("stranded", CauseTorn)
+	s.Discard("stranded", CauseTorn) // idempotent: entry already gone
+	if s.Has("stranded") {
+		t.Fatal("Discard left the entry live")
+	}
+	if c, _ := s.EvictedCause("stranded"); c != CauseTorn {
+		t.Fatalf("Discard cause = %v", c)
+	}
+
+	// Remove: drops an orphan without a tombstone, still counted.
+	if err := s.Put("orphan", []byte("m"), mkRows(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s.Remove("orphan")
+	if s.Has("orphan") {
+		t.Fatal("Remove left the entry live")
+	}
+	if _, ok := s.EvictedCause("orphan"); ok {
+		t.Fatal("Remove left a tombstone")
+	}
+	if _, _, err := s.Get("orphan"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("removed Get: %v, want ErrNotFound", err)
+	}
+	if _, err := os.Stat(SegmentPath(dir, "orphan")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("Remove left the segment on disk")
+	}
+	if s.RecoveryEvictions() != 3 {
+		t.Fatalf("recovery evictions = %d, want 3 (lost+stranded+orphan)", s.RecoveryEvictions())
+	}
+	want := []string{"evicted lost torn", "stored stranded", "evicted stranded torn", "stored orphan"}
+	if got := j.log(); !equalStrings(got, want) {
+		t.Fatalf("journal = %v, want %v", got, want)
+	}
+	if got := s.String(); !strings.Contains(got, "live=0") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func equalStrings(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

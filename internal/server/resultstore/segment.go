@@ -1,0 +1,215 @@
+package resultstore
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"ppj/internal/ocb"
+)
+
+// Segment file layout — one file per stored result:
+//
+//	segment := magic(8) || header-frame || row-frame*
+//	frame   := length(u32 BE) || crc32c(u32 BE) || payload
+//
+// The header frame's payload is
+//
+//	idLen(u16 BE) || contractID || rowCount(u32 BE) || sealed(meta)
+//
+// and each row frame's payload is one sealed row. The contract ID and row
+// count are plaintext (both already appear in the WAL manifest); meta and
+// rows are sealed under the store's at-rest OCB key with a fresh random
+// nonce per record — the host's disk holds only ciphertext, exactly like
+// the host's RAM during a join. The CRC (Castagnoli, the same polynomial
+// as the wire protocol's chunk chain) covers the full payload, so a torn
+// write, a truncated tail, or flipped bits all fail validation before any
+// ciphertext is opened.
+
+// segMagic identifies a result segment and pins its format version.
+var segMagic = []byte("PPJRES1\n")
+
+// segCRCTable is the Castagnoli table segment frames are checksummed with.
+var segCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errSegment reports a torn, truncated, or corrupt segment.
+var errSegment = errors.New("resultstore: torn segment")
+
+// maxSegFrame bounds one frame's payload; larger lengths are corruption.
+const maxSegFrame = 1 << 28
+
+// sealedLen is the sealed wire size of an n-byte plaintext record.
+func sealedLen(n int) int64 { return int64(ocb.NonceSize + n + ocb.TagSize) }
+
+// segFrameOverhead is the per-frame framing cost (length + CRC).
+const segFrameOverhead = 8
+
+// segmentSize computes a segment's exact on-disk size before writing it,
+// so cap admission and LRU eviction run against the true byte cost.
+func segmentSize(id string, meta []byte, rows [][]byte) int64 {
+	size := int64(len(segMagic))
+	size += segFrameOverhead + 2 + int64(len(id)) + 4 + sealedLen(len(meta))
+	for _, r := range rows {
+		size += segFrameOverhead + sealedLen(len(r))
+	}
+	return size
+}
+
+// sealRecord seals one record under the store key with a fresh nonce,
+// producing nonce || ciphertext || tag.
+func sealRecord(mode *ocb.Mode, pt []byte) ([]byte, error) {
+	var nonce [ocb.NonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("resultstore: drawing nonce: %w", err)
+	}
+	out := make([]byte, ocb.NonceSize, ocb.NonceSize+len(pt)+ocb.TagSize)
+	copy(out, nonce[:])
+	return mode.Seal(out, nonce, pt), nil
+}
+
+// openRecord inverts sealRecord.
+func openRecord(mode *ocb.Mode, sealed []byte) ([]byte, error) {
+	if len(sealed) < ocb.NonceSize+ocb.TagSize {
+		return nil, fmt.Errorf("%w: short sealed record", errSegment)
+	}
+	var nonce [ocb.NonceSize]byte
+	copy(nonce[:], sealed[:ocb.NonceSize])
+	pt, err := mode.Open(nil, nonce, sealed[ocb.NonceSize:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errSegment, err)
+	}
+	return pt, nil
+}
+
+// writeFrame appends one CRC frame to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [segFrameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, segCRCTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads and verifies one CRC frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [segFrameOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", errSegment, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > maxSegFrame {
+		return nil, fmt.Errorf("%w: frame length %d", errSegment, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: %v", errSegment, err)
+	}
+	if crc32.Checksum(payload, segCRCTable) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: frame checksum mismatch", errSegment)
+	}
+	return payload, nil
+}
+
+// writeSegment writes one result's segment and fsyncs it: after return,
+// the bytes a recovery scan will validate are on disk.
+func writeSegment(path string, mode *ocb.Mode, id string, meta []byte, rows [][]byte) error {
+	if len(id) > 0xffff {
+		return fmt.Errorf("resultstore: contract id too long (%d bytes)", len(id))
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	defer f.Close()
+	w := bytes.NewBuffer(make([]byte, 0, segmentSize(id, meta, rows)))
+	w.Write(segMagic)
+
+	hdr := make([]byte, 0, 2+len(id)+4)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(id)))
+	hdr = append(hdr, id...)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(rows)))
+	sealedMeta, err := sealRecord(mode, meta)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(w, append(hdr, sealedMeta...)); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	for _, row := range rows {
+		sealed, err := sealRecord(mode, row)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(w, sealed); err != nil {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	if _, err := f.Write(w.Bytes()); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return f.Close()
+}
+
+// readSegment validates a whole segment and returns its contents. The
+// contract ID is returned even when validation fails later in the file —
+// the header frame is self-checksummed — so a torn segment can still be
+// tombstoned under the right ID.
+func readSegment(path string, mode *ocb.Mode) (id string, meta []byte, rows [][]byte, size int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, nil, 0, fmt.Errorf("%w: %v", errSegment, err)
+	}
+	size = int64(len(raw))
+	r := bytes.NewReader(raw)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, segMagic) {
+		return "", nil, nil, size, fmt.Errorf("%w: bad magic", errSegment)
+	}
+	header, err := readFrame(r)
+	if err != nil {
+		return "", nil, nil, size, err
+	}
+	if len(header) < 2 {
+		return "", nil, nil, size, fmt.Errorf("%w: short header", errSegment)
+	}
+	idLen := int(binary.BigEndian.Uint16(header[0:2]))
+	if len(header) < 2+idLen+4 {
+		return "", nil, nil, size, fmt.Errorf("%w: short header", errSegment)
+	}
+	id = string(header[2 : 2+idLen])
+	rowCount := binary.BigEndian.Uint32(header[2+idLen : 2+idLen+4])
+	if rowCount > maxSegFrame/segFrameOverhead {
+		return id, nil, nil, size, fmt.Errorf("%w: row count %d", errSegment, rowCount)
+	}
+	meta, err = openRecord(mode, header[2+idLen+4:])
+	if err != nil {
+		return id, nil, nil, size, err
+	}
+	rows = make([][]byte, 0, rowCount)
+	for i := uint32(0); i < rowCount; i++ {
+		sealed, err := readFrame(r)
+		if err != nil {
+			return id, nil, nil, size, err
+		}
+		row, err := openRecord(mode, sealed)
+		if err != nil {
+			return id, nil, nil, size, err
+		}
+		rows = append(rows, row)
+	}
+	if r.Len() != 0 {
+		return id, nil, nil, size, fmt.Errorf("%w: %d trailing bytes", errSegment, r.Len())
+	}
+	return id, meta, rows, size, nil
+}

@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"ppj/internal/secop"
+	"ppj/internal/server/resultstore"
 	"ppj/internal/server/wal"
 	"ppj/internal/service"
 )
@@ -88,6 +90,20 @@ type Config struct {
 	// committed to a row count it is no longer delivering). Zero leaves
 	// only the job deadline.
 	UploadDeadline time.Duration
+	// MaxResultBytes caps the durable result store's accounted bytes
+	// (segments plus in-memory results). When a new result would overflow
+	// the cap, least-recently-fetched results are evicted first; a single
+	// result larger than the whole cap is refused outright and its job
+	// tombstoned as cap-evicted. Zero means unbounded.
+	MaxResultBytes int64
+	// ResultTTL expires stored results that have sat unfetched for this
+	// long; late recipients are answered with the typed ttl eviction.
+	// Zero disables expiry.
+	ResultTTL time.Duration
+	// AllowLegacyUpload re-enables the deprecated ProtoLegacy one-shot
+	// dataMsg upload. Off by default: legacy providers are refused with
+	// service.ErrLegacyUploadDisabled before any row is opened.
+	AllowLegacyUpload bool
 	// Logf, when set, receives connection-level errors from Serve.
 	Logf func(format string, args ...any)
 	// DataDir, when set, enables the write-ahead job store: contract
@@ -113,6 +129,7 @@ type Server struct {
 	registry *Registry
 	metrics  *Metrics
 	store    Store
+	results  *resultstore.Store
 	queue    chan *Job
 
 	// regMu serialises admissions: the duplicate check, the WAL append,
@@ -156,17 +173,40 @@ func New(cfg Config) (*Server, error) {
 		store:    NopStore{},
 		queue:    make(chan *Job, cfg.QueueDepth),
 	}
+	var recs []wal.Record
+	replay := false
 	switch {
 	case cfg.Store != nil:
 		s.store = cfg.Store
 	case cfg.DataDir != "":
-		st, recs, err := OpenWALStore(cfg.DataDir, cfg.Faults)
+		st, r, err := OpenWALStore(cfg.DataDir, cfg.Faults)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		recs, replay = r, true
+	}
+	// The result store opens after the job store exists (its manifest
+	// journals through it) and before recovery runs (recovery reconciles
+	// the WAL manifest against the segments the scan found on disk).
+	resultDir := ""
+	if cfg.DataDir != "" {
+		resultDir = filepath.Join(cfg.DataDir, "results")
+	}
+	results, err := resultstore.Open(resultstore.Config{
+		Dir:      resultDir,
+		MaxBytes: cfg.MaxResultBytes,
+		TTL:      cfg.ResultTTL,
+		Journal:  walJournal{s},
+	})
+	if err != nil {
+		s.store.Close()
+		return nil, err
+	}
+	s.results = results
+	if replay {
 		if err := s.recover(recs); err != nil {
-			st.Close()
+			s.store.Close()
 			return nil, err
 		}
 	}
@@ -180,8 +220,15 @@ func (s *Server) Device() *secop.Device { return s.device }
 func (s *Server) Registry() *Registry { return s.registry }
 
 // MetricsSnapshot is the admin method: a JSON-serialisable view of the
-// server's counters and gauges.
-func (s *Server) MetricsSnapshot() Snapshot { return s.metrics.Snapshot() }
+// server's counters and gauges, including the result store's live bytes
+// and eviction counters.
+func (s *Server) MetricsSnapshot() Snapshot {
+	snap := s.metrics.Snapshot()
+	snap.ResultStoreBytes = s.results.Bytes()
+	snap.ResultStoreEvictions = s.results.Evictions()
+	snap.ResultStoreRecoveryEvictions = s.results.RecoveryEvictions()
+	return snap
+}
 
 // Start launches the worker pool. Serve calls it implicitly; tests that
 // drive HandleConn directly may delay it to control scheduling.
@@ -224,6 +271,7 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	svc.Devices = s.cfg.DevicesPerJob
 	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
 	svc.UploadWindow = s.cfg.UploadWindow
+	svc.AllowLegacyUpload = s.cfg.AllowLegacyUpload
 	providers, recipients := c.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 {
@@ -237,6 +285,7 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 		providers:      providers,
 		wantRecipients: recipients,
 		state:          StatePending,
+		settled:        make(chan struct{}),
 		done:           make(chan struct{}),
 	}
 	// Durability gate: a job whose admission never reached the WAL would be
@@ -320,12 +369,11 @@ func (s *Server) HandleSession(sess *service.Session, hello service.Hello) error
 		j.providerUploaded()
 		return nil
 	case service.RoleRecipient:
-		if err := j.addRecipient(party.Name, sess); err != nil {
-			return err
-		}
-		// Keep the connection open until the job answers the recipient.
-		<-j.Done()
-		return nil
+		// The recipient connection blocks until the job settles, then
+		// streams the stored result (from the hello's resume offset on v2
+		// sessions). A job already Stored answers immediately — including
+		// re-fetches after a restart, served straight from the store.
+		return s.serveRecipient(j, party.Name, sess, hello.ResumeChunks)
 	}
 	return fmt.Errorf("server: party %s has unknown role %q", party.Name, party.Role)
 }

@@ -23,6 +23,13 @@ type Store interface {
 	// LogTransition records a job state transition; cause carries the
 	// failure reason for transitions into StateFailed.
 	LogTransition(contractID string, from, to State, cause string) error
+	// LogResultStored records a sealed result entering the durable result
+	// store with its accounted size — the store's manifest rides the same
+	// log as the job lifecycle, so one replay rebuilds both.
+	LogResultStored(contractID string, bytes int64) error
+	// LogResultEvicted records a stored result leaving the store, with its
+	// eviction cause ("ttl", "cap", "torn", "pre-store").
+	LogResultEvicted(contractID, cause string) error
 	// Close releases the store.
 	Close() error
 }
@@ -37,12 +44,27 @@ func (NopStore) LogRegistered(*service.Contract) error { return nil }
 // LogTransition implements Store.
 func (NopStore) LogTransition(string, State, State, string) error { return nil }
 
+// LogResultStored implements Store.
+func (NopStore) LogResultStored(string, int64) error { return nil }
+
+// LogResultEvicted implements Store.
+func (NopStore) LogResultEvicted(string, string) error { return nil }
+
 // Close implements Store.
 func (NopStore) Close() error { return nil }
 
 // SiteRegister is the faultpoint fired before a registration record is
 // appended to the WAL.
 const SiteRegister = "register"
+
+// SiteResultStored is the faultpoint fired before a result-stored
+// manifest record is appended — the instant the fleet crash suite tears
+// to leave a segment on disk that the manifest never acknowledged.
+const SiteResultStored = "result:stored"
+
+// SiteResultEvicted is the faultpoint fired before a result-evicted
+// manifest record is appended.
+const SiteResultEvicted = "result:evicted"
 
 // TransitionSite names the faultpoint fired before a from→to transition
 // record is appended, e.g. "state:uploading->running". A hook returning
@@ -110,6 +132,22 @@ func (s *WALStore) LogTransition(id string, from, to State, cause string) error 
 		To:         int32(to),
 		Cause:      cause,
 	})
+}
+
+// LogResultStored implements Store.
+func (s *WALStore) LogResultStored(id string, bytes int64) error {
+	if err := s.fire(SiteResultStored); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeResultStored, ContractID: id, Bytes: bytes})
+}
+
+// LogResultEvicted implements Store.
+func (s *WALStore) LogResultEvicted(id, cause string) error {
+	if err := s.fire(SiteResultEvicted); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeResultEvicted, ContractID: id, Cause: cause})
 }
 
 // Close implements Store, releasing the data-dir lock after the log.

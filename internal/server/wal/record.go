@@ -34,6 +34,14 @@ const (
 	TypeRegistered Type = 1
 	// TypeTransition records one job state transition.
 	TypeTransition Type = 2
+	// TypeResultStored records that a job's sealed result was written to the
+	// durable result store: the store's manifest is journaled through the
+	// same log as the job lifecycle, so one replay rebuilds both.
+	TypeResultStored Type = 3
+	// TypeResultEvicted records that a stored result was removed (TTL expiry,
+	// byte-cap LRU eviction, or a torn segment found at recovery); Cause
+	// names which, so a reconnecting recipient learns why the result is gone.
+	TypeResultEvicted Type = 4
 )
 
 // MaxPayload bounds a record payload. Contracts are a few KB; anything
@@ -58,8 +66,11 @@ type Record struct {
 	// State values. They must fit a byte.
 	From, To int32
 	// Cause is the failure cause recorded on transitions into the failed
-	// state, empty otherwise.
+	// state, and the eviction cause of a TypeResultEvicted record; empty
+	// otherwise.
 	Cause string
+	// Bytes is the stored result's accounted size (TypeResultStored only).
+	Bytes int64
 }
 
 var errEncode = errors.New("wal: cannot encode record")
@@ -89,6 +100,30 @@ func (r Record) encodePayload() ([]byte, error) {
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
 		p = append(p, r.ContractID...)
 		p = append(p, byte(r.From), byte(r.To))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.Cause)))
+		p = append(p, r.Cause...)
+		return p, nil
+	case TypeResultStored:
+		if len(r.ContractID) > 0xffff {
+			return nil, fmt.Errorf("%w: oversized contract id", errEncode)
+		}
+		if r.Bytes < 0 {
+			return nil, fmt.Errorf("%w: negative stored size", errEncode)
+		}
+		p := make([]byte, 0, 1+2+len(r.ContractID)+8)
+		p = append(p, byte(TypeResultStored))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
+		p = append(p, r.ContractID...)
+		p = binary.BigEndian.AppendUint64(p, uint64(r.Bytes))
+		return p, nil
+	case TypeResultEvicted:
+		if len(r.ContractID) > 0xffff || len(r.Cause) > 0xffff {
+			return nil, fmt.Errorf("%w: oversized eviction fields", errEncode)
+		}
+		p := make([]byte, 0, 1+2+len(r.ContractID)+2+len(r.Cause))
+		p = append(p, byte(TypeResultEvicted))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
+		p = append(p, r.ContractID...)
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.Cause)))
 		p = append(p, r.Cause...)
 		return p, nil
@@ -145,6 +180,38 @@ func decodePayload(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("%w: transition length mismatch", errDecode)
 		}
 		return Record{Type: TypeTransition, ContractID: id, From: from, To: to, Cause: string(body)}, nil
+	case TypeResultStored:
+		body := p[1:]
+		if len(body) < 2 {
+			return Record{}, fmt.Errorf("%w: short result-stored record", errDecode)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) != idLen+8 {
+			return Record{}, fmt.Errorf("%w: result-stored length mismatch", errDecode)
+		}
+		size := binary.BigEndian.Uint64(body[idLen:])
+		if size > 1<<62 {
+			return Record{}, fmt.Errorf("%w: stored size out of range", errDecode)
+		}
+		return Record{Type: TypeResultStored, ContractID: string(body[:idLen]), Bytes: int64(size)}, nil
+	case TypeResultEvicted:
+		body := p[1:]
+		if len(body) < 2 {
+			return Record{}, fmt.Errorf("%w: short result-evicted record", errDecode)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) < idLen+2 {
+			return Record{}, fmt.Errorf("%w: short result-evicted record", errDecode)
+		}
+		id := string(body[:idLen])
+		causeLen := int(binary.BigEndian.Uint16(body[idLen : idLen+2]))
+		body = body[idLen+2:]
+		if len(body) != causeLen {
+			return Record{}, fmt.Errorf("%w: result-evicted length mismatch", errDecode)
+		}
+		return Record{Type: TypeResultEvicted, ContractID: id, Cause: string(body)}, nil
 	}
 	return Record{}, fmt.Errorf("%w: unknown type %d", errDecode, p[0])
 }

@@ -26,9 +26,14 @@ type Client struct {
 	Expected  secop.ExpectedStack
 	// Legacy pins the session to the ProtoLegacy one-shot upload (the whole
 	// relation in a single dataMsg) instead of the default chunked stream.
-	// It exists so the one-release compatibility window for old clients
-	// stays tested; new code should leave it false.
+	// Servers now refuse it unless they opt in with AllowLegacyUpload; it
+	// exists so that deprecation gate stays tested. New code should leave
+	// it false.
 	Legacy bool
+	// Proto, when non-zero, pins the session's protocol version instead of
+	// the default ProtoStreamedResult — e.g. ProtoChunked for a client that
+	// wants chunked uploads but one-shot delivery. Legacy wins over Proto.
+	Proto byte
 }
 
 // ClientSession is an authenticated channel to the attested coprocessor.
@@ -52,8 +57,19 @@ func (c *Client) Connect(conn io.ReadWriter, role Role) (*ClientSession, error) 
 // a multi-tenant listener (internal/server) can route the session to the
 // right registered contract before attestation completes.
 func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID string) (*ClientSession, error) {
+	return c.ConnectContractResume(conn, role, contractID, 0)
+}
+
+// ConnectContractResume is ConnectContract with a resume offset in the
+// hello: a recipient that already consumed `resume` whole chunks of the
+// result (ResultFetch.Chunks) reconnects with it and the server streams
+// only the remainder.
+func (c *Client) ConnectContractResume(conn io.ReadWriter, role Role, contractID string, resume uint32) (*ClientSession, error) {
 	sess := newSession(conn)
-	proto := ProtoChunked
+	proto := ProtoStreamedResult
+	if c.Proto != 0 {
+		proto = c.Proto
+	}
 	if c.Legacy {
 		proto = ProtoLegacy
 	}
@@ -61,7 +77,7 @@ func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID strin
 	if _, err := rand.Read(challenge); err != nil {
 		return nil, err
 	}
-	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID, Proto: proto}); err != nil {
+	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID, Proto: proto, ResumeChunks: resume}); err != nil {
 		return nil, err
 	}
 	var auth serverAuthMsg
@@ -218,8 +234,20 @@ func (cs *ClientSession) submitChunked(contractID string, rel *relation.Relation
 
 // ReceiveResult waits for the recipient's result, decrypts it, drops decoy
 // oTuples (for the padded Chapter 4 algorithms), and returns the exact join
-// rows.
+// rows. On ProtoStreamedResult sessions this is a complete single-shot
+// fetch of the chunk stream; use FetchResult directly for pause/resume
+// control.
 func (cs *ClientSession) ReceiveResult() (*relation.Relation, error) {
+	if cs.sess.proto >= ProtoStreamedResult {
+		f := &ResultFetch{}
+		if err := cs.FetchResult(f); err != nil {
+			return nil, err
+		}
+		if f.Rows == nil {
+			return nil, errors.New("service: result carries an aggregate, not rows")
+		}
+		return f.Rows, nil
+	}
 	var msg resultMsg
 	if err := cs.sess.dec.Decode(&msg); err != nil {
 		return nil, fmt.Errorf("service: reading result: %w", err)
@@ -261,6 +289,16 @@ type AggOutcome struct {
 // ReceiveAggregate waits for an "aggregate" contract's result: a single
 // statistic, decrypted under the session key.
 func (cs *ClientSession) ReceiveAggregate() (AggOutcome, error) {
+	if cs.sess.proto >= ProtoStreamedResult {
+		f := &ResultFetch{}
+		if err := cs.FetchResult(f); err != nil {
+			return AggOutcome{}, err
+		}
+		if f.Agg == nil {
+			return AggOutcome{}, errors.New("service: result carries rows, not an aggregate")
+		}
+		return *f.Agg, nil
+	}
 	var msg resultMsg
 	if err := cs.sess.dec.Decode(&msg); err != nil {
 		return AggOutcome{}, fmt.Errorf("service: reading aggregate: %w", err)

@@ -165,11 +165,19 @@ type Hello struct {
 	Role       Role
 	Challenge  []byte // attestation nonce
 	ContractID string
-	// Proto is the upload protocol version the requestor speaks: ProtoLegacy
-	// (one-shot dataMsg) or ProtoChunked (windowed chunk stream). Hellos from
-	// old clients gob-decode without the field, landing on ProtoLegacy, which
-	// stays accepted for one release.
+	// Proto is the protocol version the requestor speaks: ProtoLegacy
+	// (one-shot dataMsg upload and one-shot result), ProtoChunked (windowed
+	// chunk-stream upload), or ProtoStreamedResult (chunked upload plus
+	// streamed, resumable result delivery). Hellos from old clients
+	// gob-decode without the field, landing on ProtoLegacy — now refused
+	// for uploads unless the service opts in (AllowLegacyUpload).
 	Proto byte
+	// ResumeChunks is a recipient's resume offset in whole result chunks:
+	// the server starts the result stream at this chunk instead of 0, so a
+	// recipient that disconnected mid-delivery — even across a server
+	// restart — fetches only what it is missing. Meaningful only for
+	// RoleRecipient hellos at ProtoStreamedResult.
+	ResumeChunks uint32
 }
 
 // serverAuthMsg carries the device attestation and the service's ephemeral

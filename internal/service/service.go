@@ -82,6 +82,10 @@ type Service struct {
 	// memory per connection is bounded by W x chunk bytes. Zero selects
 	// DefaultUploadWindow.
 	UploadWindow int
+	// AllowLegacyUpload re-enables the deprecated ProtoLegacy one-shot
+	// dataMsg upload. Off (the default), a legacy session's upload is
+	// refused with ErrLegacyUploadDisabled before any ciphertext is read.
+	AllowLegacyUpload bool
 
 	mu      sync.Mutex
 	uploads map[string]*upload
@@ -336,6 +340,9 @@ func (s *Service) ReceiveUpload(party string, sess *Session) error {
 // (the serving layer derives ctx from the job deadline and the configured
 // upload deadline).
 func (s *Service) ReceiveUploadCtx(ctx context.Context, party string, sess *Session) error {
+	if sess.proto < ProtoChunked && !s.AllowLegacyUpload {
+		return ErrLegacyUploadDisabled
+	}
 	if err := s.reserveUpload(party); err != nil {
 		return err
 	}
@@ -430,8 +437,20 @@ func (s *Service) RunContract() Outcome {
 	return Outcome{Rows: rows, Schema: schema, Padded: padded, Algorithm: alg, Devices: devices, Stats: stats, Err: err}
 }
 
-// Deliver seals an outcome under a recipient session and sends it.
+// Deliver seals an outcome under a recipient session and sends it, using
+// the session's negotiated protocol: the resumable chunk stream for
+// ProtoStreamedResult sessions (from offset 0), the one-shot resultMsg
+// otherwise.
 func (s *Service) Deliver(sess *Session, out Outcome) error {
+	if sess.proto >= ProtoStreamedResult {
+		return s.DeliverStream(sess, out, 0)
+	}
+	return s.deliverOneShot(sess, out)
+}
+
+// deliverOneShot is the pre-v2 delivery: the whole sealed result in one
+// resultMsg.
+func (s *Service) deliverOneShot(sess *Session, out Outcome) error {
 	msg := resultMsg{ContractID: s.Contract.ID, Padded: out.Padded}
 	switch {
 	case out.Err != nil:

@@ -21,8 +21,10 @@ import (
 // is opened. Version 1 replaces it with a chunked stream — uploadBeginMsg,
 // then fixed-budget uploadChunkMsg frames under a credit window, then
 // uploadEndMsg — so server memory per connection is bounded by
-// window × chunk bytes. Version 0 stays accepted for one release so old
-// clients (whose hellos gob-decode with Proto == 0) interoperate.
+// window × chunk bytes. Version 0's one-shot upload was accepted
+// unconditionally for one release; it is now gated behind an explicit
+// opt-in (Service.AllowLegacyUpload). Version 2 keeps version 1's upload
+// framing and adds streamed, resumable result delivery (see result.go).
 const (
 	// ProtoLegacy is the one-shot dataMsg upload protocol.
 	ProtoLegacy byte = 0
@@ -54,6 +56,12 @@ var (
 	// duplicated or replayed sequence numbers, a broken running CRC, or a
 	// frame that is neither chunk nor end.
 	ErrUploadFrame = errors.New("service: malformed upload frame")
+	// ErrLegacyUploadDisabled refuses a ProtoLegacy one-shot upload on a
+	// service that has not opted in. The compatibility window promised for
+	// one release is over; operators who still need it enable it
+	// explicitly (Service.AllowLegacyUpload, the server's -legacy-upload
+	// flag).
+	ErrLegacyUploadDisabled = errors.New("service: legacy one-shot upload is disabled (opt in with -legacy-upload)")
 )
 
 // crcTable is the Castagnoli table the running upload CRC chains over.
@@ -249,31 +257,7 @@ func (st *ackTracker) run(dec *gob.Decoder) {
 	for {
 		var a uploadAckMsg
 		err := dec.Decode(&a)
-		st.mu.Lock()
-		switch {
-		case err != nil:
-			st.err = fmt.Errorf("service: reading upload ack: %w", err)
-		case a.Err != "":
-			st.err = fmt.Errorf("service: upload refused: %s", a.Err)
-		default:
-			if !st.granted {
-				st.granted = true
-				st.window = a.Window
-				if st.window < 1 {
-					st.window = 1
-				}
-			}
-			if a.Seq > st.seq {
-				st.seq = a.Seq
-			}
-			if a.Done {
-				st.done = true
-			}
-		}
-		terminal := st.err != nil || st.done
-		st.cond.Broadcast()
-		st.mu.Unlock()
-		if terminal {
+		if st.publish(a, err, "upload") {
 			return
 		}
 	}

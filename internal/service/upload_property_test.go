@@ -16,6 +16,8 @@ func ingestAll(t *testing.T, contract *Contract, pA, pB testParty, relA, relB *r
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The equivalence grid drives the deprecated one-shot path on purpose.
+	svc.AllowLegacyUpload = legacy
 	for _, u := range []struct {
 		p   testParty
 		rel *relation.Relation

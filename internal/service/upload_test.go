@@ -373,6 +373,7 @@ func TestUploadLimitsRefuseBeforeRows(t *testing.T) {
 
 	t.Run("legacy upload over budget", func(t *testing.T) {
 		svc, pA := newUploadFixture(t, 100, 0)
+		svc.AllowLegacyUpload = true
 		rel := relation.GenKeyed(relation.NewRand(4), 50, 5)
 		srvErr, _ := uploadOnce(t, svc, pA, svc.Contract.ID, rel, true, 0)
 		if !errors.Is(srvErr, ErrUploadTooLarge) {
@@ -474,6 +475,30 @@ func TestConcurrentUploadReservesSlot(t *testing.T) {
 	}
 }
 
+// TestLegacyUploadDisabledByDefault pins the deprecation gate: without the
+// AllowLegacyUpload opt-in, a ProtoLegacy session is refused with the typed
+// sentinel before a single byte of the upload is read — the test never
+// submits anything, so a gate that read first would deadlock the pipe — and
+// the refusal burns no reservation: the same party retries chunked and
+// commits.
+func TestLegacyUploadDisabledByDefault(t *testing.T) {
+	svc, pA := newUploadFixture(t, 0, 0)
+	sess, _, _ := dialProvider(t, svc, pA, true)
+	if err := svc.ReceiveUpload(pA.name, sess); !errors.Is(err, ErrLegacyUploadDisabled) {
+		t.Fatalf("legacy upload without opt-in = %v, want ErrLegacyUploadDisabled", err)
+	}
+	svc.mu.Lock()
+	_, reserved := svc.uploads[pA.name]
+	svc.mu.Unlock()
+	if reserved {
+		t.Fatal("refused legacy upload left a reservation behind")
+	}
+	rel := relation.GenKeyed(relation.NewRand(25), 5, 5)
+	if srvErr, cliErr := uploadOnce(t, svc, pA, svc.Contract.ID, rel, false, 2); srvErr != nil || cliErr != nil {
+		t.Fatalf("chunked retry after legacy refusal: server=%v client=%v", srvErr, cliErr)
+	}
+}
+
 // TestLegacyClientInterop runs the full three-party flow with every client
 // pinned to ProtoLegacy against the current server: the one-release
 // compatibility window.
@@ -487,6 +512,7 @@ func TestLegacyClientInterop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	svc.AllowLegacyUpload = true
 	got, err := runService(t, svc, pA, pB, pC, relA, relB, func(c *Client) { c.Legacy = true })
 	if err != nil {
 		t.Fatal(err)
@@ -511,6 +537,7 @@ func TestMixedProtocolProviders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	svc.AllowLegacyUpload = true
 	if srvErr, cliErr := uploadOnce(t, svc, pA, contract.ID, relA, true, 0); srvErr != nil || cliErr != nil {
 		t.Fatalf("legacy provider: server=%v client=%v", srvErr, cliErr)
 	}
