@@ -1,0 +1,53 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"ppj/internal/relation"
+	"ppj/internal/service"
+)
+
+// Repro: a recipient that consumed every chunk but lost the connection
+// before the end frame reconnects with resume == TotalChunks. With a
+// partial last chunk (rows % 64 != 0) the server computes a negative
+// StreamRows and the fetch can never complete.
+func TestResumeAtTotalChunksPartialLastChunk(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{Workers: 1, Memory: 16, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	size := 65 // 2 chunks: 64 + 1 (partial last chunk)
+	relA, relB := genJoinSized(uint64(size)+17, 8, size+4, size)
+	g := newGroupRels(t, "res-at-total", "alg5", relA, relB)
+	if _, err := srv.Register(g.contract); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.pipeProvider(t, srv, g.provA, g.relA); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.pipeProvider(t, srv, g.provB, g.relB); err != nil {
+		t.Fatal(err)
+	}
+
+	// First leg: full fetch to learn the total chunk count.
+	f := &service.ResultFetch{}
+	if err := g.fetchLeg(srv, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	total := f.Chunks
+	fmt.Printf("total chunks: %d\n", total)
+
+	// Simulate a recipient that consumed all chunks but missed the end
+	// frame: Chunks == total, Done == false.
+	f2 := &service.ResultFetch{Chunks: total, Rows: relation.NewRelation(f.Rows.Schema)}
+	err = g.fetchLeg(srv, f2, 0)
+	if err != nil {
+		t.Fatalf("resume at offset %d (== total chunks): %v", total, err)
+	}
+	if !f2.Done {
+		t.Fatal("fetch finished without the end frame")
+	}
+}
