@@ -12,6 +12,7 @@ package ppj
 import (
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"ppj/internal/core"
@@ -314,6 +315,142 @@ func BenchmarkMeasuredAlg5OCB(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasuredAlg7 executes Algorithm 7 over the same scaled setting
+// as the other Chapter 5 measured benchmarks (L=6400, S=64) and reports the
+// measured transfers, which must equal both core.Join7Transfers and the
+// costmodel prediction exactly.
+func BenchmarkMeasuredAlg7(b *testing.B) {
+	relA := relation.NewRelation(relation.KeyedSchema())
+	relB := relation.NewRelation(relation.KeyedSchema())
+	rng := relation.NewRand(9)
+	for i := 0; i < 80; i++ {
+		relA.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(rng.Int64N(1 << 20))})
+	}
+	for j := 0; j < 64; j++ {
+		relB.MustAppend(relation.Tuple{relation.IntValue(int64(j)), relation.IntValue(rng.Int64N(1 << 20))})
+	}
+	for j := 64; j < 80; j++ {
+		relB.MustAppend(relation.Tuple{relation.IntValue(1000 + int64(j)), relation.IntValue(0)})
+	}
+	eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var transfers uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := sim.NewHost(0)
+		cop, err := sim.NewCoprocessor(h, sim.Config{Memory: 8, Sealer: sim.PlainSealer{}, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabA, err := sim.LoadTable(h, cop.Sealer(), "X1", relA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabB, err := sim.LoadTable(h, cop.Sealer(), "X2", relB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := core.Join7(cop, tabA, tabB, eq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transfers = res.Stats.Transfers()
+		if want := core.Join7Transfers(tabA.N, tabB.N, res.OutputLen); int64(transfers) != want {
+			b.Fatalf("transfers = %d, want closed form %d", transfers, want)
+		}
+		if want := costmodel.Alg7Cost(tabA.N, tabB.N, res.OutputLen); float64(transfers) != want {
+			b.Fatalf("transfers = %d, costmodel predicts %.0f", transfers, want)
+		}
+	}
+	b.ReportMetric(float64(transfers), "transfers")
+}
+
+// BenchmarkJoinScaling races the scan-based joins against the sort-based
+// Algorithm 7 on the matched-keys workload |A| = |B| = S = n at M = 2048 —
+// the workload of costmodel.CrossoverN57. n=256 always runs (the CI smoke
+// sweep); the 1k and 4k points run when PPJ_BENCH_FULL=1, as scripts/bench.sh
+// sets for BENCH_8.json, where alg7's transfers at n=4k must be under 25% of
+// alg5's. Every alg7 point asserts measured == closed form == cost model.
+func BenchmarkJoinScaling(b *testing.B) {
+	sizes := []int{256}
+	if os.Getenv("PPJ_BENCH_FULL") == "1" {
+		sizes = append(sizes, 1024, 4096)
+	}
+	const mem = 2048
+	algs := []struct {
+		name string
+		run  func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error)
+	}{
+		{"alg3", func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+			return core.Join3(t, a, bb, eq, 1, false)
+		}},
+		{"alg5", func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+			return core.Join5(t, []sim.Table{a, bb}, relation.Pairwise(eq))
+		}},
+		{"alg7", func(t *sim.Coprocessor, a, bb sim.Table, eq *relation.Equi) (core.Result, error) {
+			return core.Join7(t, a, bb, eq)
+		}},
+	}
+	for _, alg := range algs {
+		b.Run(alg.name, func(b *testing.B) {
+			for _, n := range sizes {
+				b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+					relA := relation.NewRelation(relation.KeyedSchema())
+					relB := relation.NewRelation(relation.KeyedSchema())
+					for i := 0; i < n; i++ {
+						relA.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(int64(i) * 3)})
+						relB.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(int64(i) * 7)})
+					}
+					eq, err := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
+					if err != nil {
+						b.Fatal(err)
+					}
+					var transfers uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						h := sim.NewHost(0)
+						cop, err := sim.NewCoprocessor(h, sim.Config{Memory: mem, Sealer: sim.PlainSealer{}, Seed: 5})
+						if err != nil {
+							b.Fatal(err)
+						}
+						tabA, err := sim.LoadTable(h, cop.Sealer(), "X1", relA)
+						if err != nil {
+							b.Fatal(err)
+						}
+						tabB, err := sim.LoadTable(h, cop.Sealer(), "X2", relB)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+						res, err := alg.run(cop, tabA, tabB, eq)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.OutputLen != int64(n) {
+							b.Fatalf("output length %d, want S=%d", res.OutputLen, n)
+						}
+						transfers = res.Stats.Transfers()
+						if alg.name == "alg7" {
+							if want := core.Join7Transfers(int64(n), int64(n), int64(n)); int64(transfers) != want {
+								b.Fatalf("transfers = %d, want closed form %d", transfers, want)
+							}
+							if want := costmodel.Alg7Cost(int64(n), int64(n), int64(n)); float64(transfers) != want {
+								b.Fatalf("transfers = %d, costmodel predicts %.0f", transfers, want)
+							}
+						}
+					}
+					b.ReportMetric(float64(transfers), "transfers")
+				})
+			}
+		})
+	}
+}
+
 // --- Substrates ---
 
 // BenchmarkOCBSeal measures authenticated encryption of one 64-byte tuple
@@ -376,12 +513,12 @@ func maxDeviceTransfers(cops []*sim.Coprocessor) uint64 {
 	return max
 }
 
-// BenchmarkParallelSort measures the §4.4.4 parallel bitonic sort of 2048
-// host cells with real authenticated encryption at fleet sizes 1, 2 and 4.
-// The per-device comparator network shrinks from Comparators(n) on one
-// device to a block share plus the merge-split stages, so the P=4 critical
-// path is ≥2× shorter than P=1 (the transfers metric; ns/op tracks it only
-// when the benchmark host has ≥P free cores).
+// BenchmarkParallelSort measures the §4.4.4 parallel sort of 2048 host
+// cells with real authenticated encryption at fleet sizes 1, 2 and 4. Phase
+// 2 is the binary odd-even merge tree, whose total comparator count is
+// strictly below the single-device bitonic network at every P — so ns/op
+// must not regress with P even on a single-core host, and the per-device
+// critical path (the transfers metric) still shrinks roughly with 1/P.
 func BenchmarkParallelSort(b *testing.B) {
 	const n = 2048
 	less := func(x, y []byte) bool { return string(x) < string(y) }

@@ -26,7 +26,7 @@ func main() {
 		fileA   = flag.String("a", "", "left relation CSV (empty: demo data)")
 		fileB   = flag.String("b", "", "right relation CSV (empty: demo data)")
 		on      = flag.String("on", "key=key", "join attributes as left=right")
-		alg     = flag.Int("alg", 5, "algorithm 1..6")
+		alg     = flag.Int("alg", 5, "algorithm 1..7")
 		mem     = flag.Int("mem", 64, "coprocessor memory M in tuples")
 		predK   = flag.String("pred", "equi", "predicate: equi, band, lessthan")
 		param   = flag.Float64("param", 0, "band width for -pred band")

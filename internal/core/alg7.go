@@ -1,0 +1,541 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ppj/internal/oblivious"
+	"ppj/internal/relation"
+	"ppj/internal/sim"
+)
+
+// Join7 runs Algorithm 7, the sort-based oblivious equijoin after
+// Krastnikov et al. ("Efficient Oblivious Database Joins", PAPERS.md),
+// adapted to the coprocessor model: instead of scanning |A|·|B| pairs or
+// N·|A| scratch slots, it sorts the union of both relations once, derives
+// per-key multiplicities with three oblivious index scans, and expands each
+// side to the exact output size S with the oblivious distribution network
+// and a fill-forward duplication scan. Everything is built from the batched
+// transfer primitives, so the whole join costs O((n log²n + S log²S))
+// transfers for n = |A| + |B| — the sorting networks dominate; the
+// expansion itself is O(S log S) — versus Algorithm 5's ⌈S/M⌉·L.
+//
+// The pipeline (all arrays hold uniform fixed-size cells: a tag byte, four
+// u64 index fields, and the padded tuple encoding):
+//
+//  1. Union build: copy A and B into one working array W, tagged per side.
+//  2. Oblivious sort of W by (join key, tag), grouping equal keys with the
+//     A rows first.
+//  3. Three index scans (forward, backward, forward) that give every row
+//     its in-group occurrence number, its group's multiplicities (c_A,
+//     c_B), and its group's first output slot g = Σ c_A·c_B over preceding
+//     groups; the third scan also yields S inside T.
+//  4. Per side: rewrite rows into (destination, keep) form — an A row with
+//     occurrence i takes destination g + i·c_B; a B row with occurrence j
+//     takes g + j·c_A — compact the kept rows by an oblivious sort on
+//     destination, route them with the distribution network, and duplicate
+//     them across their group's slots with the fill-forward scan. The B
+//     side fills in B-major order, so each filled copy computes its final
+//     slot g + i·c_B + j and one more oblivious sort aligns it with A.
+//  5. Stitch: one paired scan emits oTuple join rows; the output is exactly
+//     S cells, the Chapter 5 output contract.
+//
+// Every phase's access schedule is a pure function of (|A|, |B|, S): the
+// sorts and the distribution network are fixed networks, the scans touch
+// every cell exactly once, and data-dependent decisions (swap or not, keep
+// or not) happen inside T behind outcome-independent transfer pairs. S is
+// public under the exact-output contract (Definition 3), exactly as in
+// Algorithm 5, so scheduling on it reveals nothing new. The duplicate
+// multiplicities — where a naive implementation leaks — only ever influence
+// cell contents, never which cell is touched.
+//
+// T's resident state is a handful of cells (the scan accumulators and the
+// fill-forward hold slot), so unlike Algorithms 1-6 the memory parameter M
+// never appears in the cost.
+func Join7(t *sim.Coprocessor, a, b sim.Table, pred *relation.Equi) (Result, error) {
+	if a.N < 0 || b.N < 0 {
+		return Result{}, fmt.Errorf("%w: negative relation size", errInvalid)
+	}
+	if pred == nil {
+		return Result{}, fmt.Errorf("%w: alg7 needs an equality predicate", errInvalid)
+	}
+	if !pred.Orderable() {
+		return Result{}, fmt.Errorf("%w: alg7 needs an orderable join attribute", errInvalid)
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	t.ResetStats()
+	release, err := t.Grant(a7Memory)
+	if err != nil {
+		return Result{}, err
+	}
+	defer release()
+
+	host := t.Host()
+	codec := newA7Codec(pred, a.Schema, b.Schema)
+	n := a.N + b.N
+
+	if n == 0 {
+		out := host.FreshRegion("alg7.out", 0)
+		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: t.Stats()}, nil
+	}
+
+	// Phase 1+2: union build and sort by (key, tag).
+	w := host.FreshRegion("alg7.w", int(oblivious.NextPow2(n)))
+	if err := t.TransformRange(w, 0, a.Region, 0, a.N, func(_ int64, pt []byte) ([]byte, error) {
+		return codec.wrap(a7TagA, pt), nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := t.TransformRange(w, a.N, b.Region, 0, b.N, func(_ int64, pt []byte) ([]byte, error) {
+		return codec.wrap(a7TagB, pt), nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := oblivious.Sort(t, w, n, codec.lessKeyTag); err != nil {
+		return Result{}, err
+	}
+
+	// Phase 3: index scans.
+	s, err := codec.indexScans(t, w, n)
+	if err != nil {
+		return Result{}, err
+	}
+
+	out := host.FreshRegion("alg7.out", int(s))
+	if s == 0 {
+		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: t.Stats()}, nil
+	}
+
+	// Phase 4: per-side compaction, distribution, duplication.
+	sort := func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
+		return oblivious.Sort(t, region, n, less)
+	}
+	ea, err := codec.expandSide(t, sort, w, n, s, a7TagA)
+	if err != nil {
+		return Result{}, err
+	}
+	eb, err := codec.expandSide(t, sort, w, n, s, a7TagB)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := oblivious.Sort(t, eb, s, codec.lessDest); err != nil {
+		return Result{}, err
+	}
+
+	// Phase 5: stitch the aligned sides into oTuple join rows.
+	if err := codec.stitch(t, out, ea, eb, s, outSchema); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
+		OutputLen: s,
+		Stats:     t.Stats(),
+	}, nil
+}
+
+// Join7Transfers is the exact transfer count of this implementation:
+//
+//	2n + Sort(n) + 6n                          union build, key sort, scans
+//	+ 2·[2n + Sort(n) + 2t + (m−t) + Dist(m) + 2S]   per-side expansion
+//	+ Sort(S) + 3S                             B alignment and stitch
+//
+// with n = |A|+|B|, t = min(n, S), m = NextPow2(S), Sort the bitonic
+// network cost and Dist the distribution network cost. The n log²n and
+// S log²S sort terms dominate; compare Join5Transfers' ⌈S/M⌉·L.
+func Join7Transfers(aN, bN, s int64) int64 {
+	n := aN + bN
+	if n == 0 {
+		return 0
+	}
+	total := 2*n + oblivious.SortTransfers(n) + 6*n
+	if s == 0 {
+		return total
+	}
+	m := oblivious.NextPow2(s)
+	tx := min64(n, s)
+	side := 2*n + oblivious.SortTransfers(n) + 2*tx + (m - tx) +
+		oblivious.DistributeTransfers(m) + 2*s
+	return total + 2*side + oblivious.SortTransfers(s) + 3*s
+}
+
+// --- Algorithm 7 working cells ---
+
+// A working cell is tag || f0 || f1 || f2 || f3 || payload with u64 fields
+// and the tuple encoding padded to the larger of the two schemas, so every
+// cell of every intermediate array has identical length (Fixed Size
+// principle, §3.4.3). The fields are reused phase by phase:
+//
+//	after the index scans   f0 = in-group occurrence, f1 = c_A (B rows),
+//	                        f2 = c_B, f3 = group output base g
+//	after the side rewrite  f0 = destination slot, f1/f2/f3 = c_A/c_B/g
+//	after the B fill        f0 = final aligned slot g + i·c_B + j
+const (
+	a7TagA byte = 0x00 // cell carries an A tuple
+	a7TagB byte = 0x01 // cell carries a B tuple
+	a7TagE byte = 0xFF // empty filler cell (discarded by keep logic)
+
+	a7Hdr = 1 + 4*8
+
+	// a7Memory is the resident state the algorithm Grants: the fill-forward
+	// hold slot. The scan accumulators (previous key, group counters) ride
+	// in the same slot's budget; like the sort networks' two-cell staging,
+	// nothing else outlives a batch. One cell, independent of every size —
+	// Algorithm 7 runs at any device memory M ≥ 1.
+	a7Memory = 1
+)
+
+func a7F(c []byte, k int) int64       { return int64(binary.BigEndian.Uint64(c[1+8*k:])) }
+func a7SetF(c []byte, k int, v int64) { binary.BigEndian.PutUint64(c[1+8*k:], uint64(v)) }
+
+// a7Codec builds, parses and orders working cells for one join.
+type a7Codec struct {
+	pred    *relation.Equi
+	sa, sb  *relation.Schema
+	payload int
+	cell    int
+	fillBuf []byte // reused scratch for fill-forward rewrites
+}
+
+func newA7Codec(pred *relation.Equi, sa, sb *relation.Schema) *a7Codec {
+	payload := sa.TupleSize()
+	if sb.TupleSize() > payload {
+		payload = sb.TupleSize()
+	}
+	return &a7Codec{pred: pred, sa: sa, sb: sb, payload: payload, cell: a7Hdr + payload}
+}
+
+// wrap builds a working cell around a side's encoded tuple.
+func (c *a7Codec) wrap(tag byte, enc []byte) []byte {
+	out := make([]byte, c.cell)
+	out[0] = tag
+	copy(out[a7Hdr:], enc)
+	return out
+}
+
+// empty builds a filler cell of the same size as a real one.
+func (c *a7Codec) empty() []byte {
+	out := make([]byte, c.cell)
+	out[0] = a7TagE
+	return out
+}
+
+// tuple decodes the tuple a real working cell carries.
+func (c *a7Codec) tuple(cell []byte) (relation.Tuple, error) {
+	switch cell[0] {
+	case a7TagA:
+		return c.sa.Decode(cell[a7Hdr : a7Hdr+c.sa.TupleSize()])
+	case a7TagB:
+		return c.sb.Decode(cell[a7Hdr : a7Hdr+c.sb.TupleSize()])
+	default:
+		return nil, fmt.Errorf("core: alg7 cell has no tuple (tag %#x)", cell[0])
+	}
+}
+
+// key extracts the join-attribute value of a real working cell.
+func (c *a7Codec) key(cell []byte) (relation.Value, error) {
+	tup, err := c.tuple(cell)
+	if err != nil {
+		return relation.Value{}, err
+	}
+	if cell[0] == a7TagA {
+		return c.pred.KeyA(tup), nil
+	}
+	return c.pred.KeyB(tup), nil
+}
+
+// cloneKey copies a key value out of a transient cell buffer so it can be
+// held across scan steps.
+func cloneKey(v relation.Value) relation.Value {
+	if v.B != nil {
+		v.B = append([]byte(nil), v.B...)
+	}
+	return v
+}
+
+// lessKeyTag orders working cells by (join key, tag): equal keys group
+// together with the A rows first. Undecodable cells sort last, like decoys.
+func (c *a7Codec) lessKeyTag(x, y []byte) bool {
+	kx, errX := c.key(x)
+	ky, errY := c.key(y)
+	if errX != nil || errY != nil {
+		return errX == nil
+	}
+	if cmp := c.pred.CompareKeys(kx, ky); cmp != 0 {
+		return cmp < 0
+	}
+	return x[0] < y[0]
+}
+
+// lessDest orders real cells by destination slot, empties last.
+func (c *a7Codec) lessDest(x, y []byte) bool {
+	xe, ye := x[0] == a7TagE, y[0] == a7TagE
+	if xe || ye {
+		return !xe && ye
+	}
+	return a7F(x, 0) < a7F(y, 0)
+}
+
+// indexScans runs the three multiplicity scans over the key-sorted union
+// and returns the exact join size S. Scan one (forward) numbers every row
+// within its (key, side) group and gives B rows their group's c_A (all A
+// rows of a group precede its B rows). Scan two (backward) gives every row
+// its group's c_B. Scan three (forward) gives every row its group's first
+// output slot g and accumulates S = Σ c_A·c_B. Each scan reads and rewrites
+// every cell exactly once; the group state lives inside T.
+func (c *a7Codec) indexScans(t *sim.Coprocessor, w sim.RegionID, n int64) (int64, error) {
+	var (
+		have bool
+		prev relation.Value
+		cntA int64
+		cntB int64
+	)
+	step := func(cell []byte) (newGroup bool, err error) {
+		key, err := c.key(cell)
+		if err != nil {
+			return false, err
+		}
+		t.ChargeCompare()
+		newGroup = !have || c.pred.CompareKeys(prev, key) != 0
+		prev, have = cloneKey(key), true
+		return newGroup, nil
+	}
+
+	if err := t.TransformRange(w, 0, w, 0, n, func(_ int64, pt []byte) ([]byte, error) {
+		newGroup, err := step(pt)
+		if err != nil {
+			return nil, err
+		}
+		if newGroup {
+			cntA, cntB = 0, 0
+		}
+		if pt[0] == a7TagA {
+			a7SetF(pt, 0, cntA)
+			cntA++
+		} else {
+			a7SetF(pt, 0, cntB)
+			a7SetF(pt, 1, cntA)
+			cntB++
+		}
+		return pt, nil
+	}); err != nil {
+		return 0, err
+	}
+
+	have = false
+	var groupCB int64
+	if err := a7ScanBackward(t, w, n, func(_ int64, pt []byte) ([]byte, error) {
+		newGroup, err := step(pt)
+		if err != nil {
+			return nil, err
+		}
+		if newGroup {
+			groupCB = 0
+			if pt[0] == a7TagB {
+				groupCB = a7F(pt, 0) + 1 // the last B row carries j = c_B − 1
+			}
+		}
+		a7SetF(pt, 2, groupCB)
+		return pt, nil
+	}); err != nil {
+		return 0, err
+	}
+
+	have = false
+	var base, groupCA, groupSize int64
+	if err := t.TransformRange(w, 0, w, 0, n, func(_ int64, pt []byte) ([]byte, error) {
+		newGroup, err := step(pt)
+		if err != nil {
+			return nil, err
+		}
+		if newGroup {
+			base += groupCA * groupSize
+			groupCA, groupSize = 0, a7F(pt, 2)
+		}
+		if pt[0] == a7TagA {
+			groupCA++
+		}
+		a7SetF(pt, 3, base)
+		return pt, nil
+	}); err != nil {
+		return 0, err
+	}
+	return base + groupCA*groupSize, nil
+}
+
+// a7SortFunc abstracts the oblivious sort a pipeline stage uses, so the
+// serial path plugs in oblivious.Sort on one device and the parallel path
+// plugs in oblivious.ParallelSort over a device group.
+type a7SortFunc func(region sim.RegionID, n int64, less oblivious.LessFunc) error
+
+// expandSide extracts one side of the indexed union and expands it to the
+// S output slots: rewrite into (destination, keep) form, compact the kept
+// rows by an oblivious sort on destination, route them with the
+// distribution network, and duplicate them with the fill-forward scan.
+// Returns the region whose first S cells hold the side's expanded rows.
+func (c *a7Codec) expandSide(t *sim.Coprocessor, sort a7SortFunc, w sim.RegionID, n, s int64, tag byte) (sim.RegionID, error) {
+	host := t.Host()
+	m := oblivious.NextPow2(s)
+	name := "alg7.ea"
+	if tag == a7TagB {
+		name = "alg7.eb"
+	}
+
+	// Rewrite: keep exactly the rows of this side whose group joins at all;
+	// an A row with occurrence i goes to slot g + i·c_B, a B row with
+	// occurrence j to slot g + j·c_A (B-major, realigned after the fill).
+	// Dropped rows become fillers; the keep decision stays inside T.
+	sx := host.FreshRegion(name+".c", int(oblivious.NextPow2(n)))
+	if err := t.TransformRange(sx, 0, w, 0, n, func(_ int64, pt []byte) ([]byte, error) {
+		t.ChargeCompare()
+		keep, dest := false, int64(0)
+		if pt[0] == tag {
+			if tag == a7TagA {
+				cb := a7F(pt, 2)
+				keep, dest = cb > 0, a7F(pt, 3)+a7F(pt, 0)*cb
+			} else {
+				ca := a7F(pt, 1)
+				keep, dest = ca > 0, a7F(pt, 3)+a7F(pt, 0)*ca
+			}
+		}
+		if !keep {
+			return c.empty(), nil
+		}
+		a7SetF(pt, 0, dest)
+		return pt, nil
+	}); err != nil {
+		return 0, err
+	}
+
+	// Compact: kept destinations strictly increase in union order, so an
+	// oblivious sort on (real, destination) moves the kept rows to a
+	// rank-preserving prefix — the distribution network's precondition.
+	if err := sort(sx, n, c.lessDest); err != nil {
+		return 0, err
+	}
+
+	// Expand into the output-sized array: copy the compacted prefix (at
+	// most min(n, S) kept rows), pad with fillers, route, duplicate.
+	ex := host.FreshRegion(name, int(m))
+	tx := min64(n, s)
+	if err := t.TransformRange(ex, 0, sx, 0, tx, func(_ int64, pt []byte) ([]byte, error) {
+		return pt, nil
+	}); err != nil {
+		return 0, err
+	}
+	if tx < m {
+		pads := make([][]byte, m-tx)
+		filler := c.empty()
+		for i := range pads {
+			pads[i] = filler
+		}
+		if err := t.PutRange(ex, tx, pads); err != nil {
+			return 0, err
+		}
+	}
+	if err := oblivious.Distribute(t, ex, m, func(pt []byte) (bool, int64) {
+		return pt[0] != a7TagE, a7F(pt, 0)
+	}); err != nil {
+		return 0, err
+	}
+
+	isReal := func(pt []byte) bool { return pt[0] != a7TagE }
+	var fill func(k int64, pt, held []byte) ([]byte, error)
+	if tag == a7TagA {
+		// A fills in final order already: every slot of the group's i-th
+		// stripe takes a copy of A's i-th row.
+		fill = func(_ int64, _, held []byte) ([]byte, error) { return held, nil }
+	} else {
+		// B fills in B-major order: the cell at slot k is copy number
+		// i = k − g − j·c_A of B row j, destined for final slot g + i·c_B + j.
+		fill = func(k int64, _, held []byte) ([]byte, error) {
+			g, ca, cb := a7F(held, 3), a7F(held, 1), a7F(held, 2)
+			j := (a7F(held, 0) - g) / ca
+			i := k - g - j*ca
+			c.fillBuf = append(c.fillBuf[:0], held...)
+			a7SetF(c.fillBuf, 0, g+i*cb+j)
+			return c.fillBuf, nil
+		}
+	}
+	if err := oblivious.FillForward(t, ex, s, isReal, fill); err != nil {
+		return 0, err
+	}
+	return ex, nil
+}
+
+// stitch pairs the aligned expansions into oTuple join rows: slot k of the
+// output is the real join row (A_k ⋈ B_k). All S cells are real — the exact
+// output contract of the Chapter 5 algorithms.
+func (c *a7Codec) stitch(t *sim.Coprocessor, out sim.RegionID, ea, eb sim.RegionID, s int64, outSchema *relation.Schema) error {
+	for off := int64(0); off < s; off += sim.TransferBatch {
+		chunk := min64(sim.TransferBatch, s-off)
+		ptsA, err := t.GetRange(ea, off, chunk)
+		if err != nil {
+			return err
+		}
+		ptsB, err := t.GetRange(eb, off, chunk)
+		if err != nil {
+			return err
+		}
+		rows := make([][]byte, chunk)
+		for k := int64(0); k < chunk; k++ {
+			ta, err := c.tuple(ptsA[k])
+			if err != nil {
+				return fmt.Errorf("core: alg7 slot %d: %w", off+k, err)
+			}
+			tb, err := c.tuple(ptsB[k])
+			if err != nil {
+				return fmt.Errorf("core: alg7 slot %d: %w", off+k, err)
+			}
+			payload, err := joinPayload(outSchema, ta, tb)
+			if err != nil {
+				return err
+			}
+			rows[k] = wrapReal(payload)
+		}
+		if err := t.PutRange(out, off, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// a7ScanBackward is the descending counterpart of an in-place
+// TransformRange: it reads and rewrites cells n−1 … 0 in TransferBatch
+// windows (one batched get and one batched put per window), so the access
+// schedule depends only on n. fn may mutate pt and return it.
+func a7ScanBackward(t *sim.Coprocessor, region sim.RegionID, n int64, fn func(idx int64, pt []byte) ([]byte, error)) error {
+	idx := make([]int64, 0, sim.TransferBatch)
+	var pts [][]byte
+	outs := make([][]byte, 0, sim.TransferBatch)
+	for hi := n; hi > 0; {
+		lo := hi - sim.TransferBatch
+		if lo < 0 {
+			lo = 0
+		}
+		idx = idx[:0]
+		for i := hi - 1; i >= lo; i-- {
+			idx = append(idx, i)
+		}
+		var err error
+		pts, err = t.GetBatchInto(pts, region, idx)
+		if err != nil {
+			return err
+		}
+		outs = outs[:0]
+		for k, i := range idx {
+			out, err := fn(i, pts[k])
+			if err != nil {
+				return err
+			}
+			outs = append(outs, out)
+		}
+		if err := t.PutBatch(region, idx, outs); err != nil {
+			return err
+		}
+		hi = lo
+	}
+	return nil
+}

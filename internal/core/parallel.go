@@ -486,6 +486,152 @@ func ParallelJoin4(cops []*sim.Coprocessor, tables []sim.Table, pred relation.Mu
 	}, nil
 }
 
+// ParallelJoin7 runs Algorithm 7 with P coprocessors. The pipeline's cost
+// is dominated by its oblivious sorts, so those are what parallelize: the
+// union key sort and the final B alignment sort run on the parallel bitonic
+// network over the largest power-of-two device prefix, and the two sides'
+// expansions (compaction sort, distribution, fill) run concurrently on the
+// two halves of that prefix. The linear scans and the stitch stay on device
+// 0 — they are O(n + S) against the sorts' log² factors. Every device's
+// schedule is a pure function of (|A|, |B|, S, P): the side split, the sort
+// partitions, and the scan bounds derive only from public sizes, so the
+// per-device invariance guarantee matches the serial algorithm's.
+func ParallelJoin7(cops []*sim.Coprocessor, a, b sim.Table, pred *relation.Equi) (Result, error) {
+	if len(cops) == 0 {
+		return Result{}, fmt.Errorf("%w: no coprocessors", errInvalid)
+	}
+	if len(cops) == 1 {
+		return Join7(cops[0], a, b, pred)
+	}
+	if a.N < 0 || b.N < 0 {
+		return Result{}, fmt.Errorf("%w: negative relation size", errInvalid)
+	}
+	if pred == nil {
+		return Result{}, fmt.Errorf("%w: alg7 needs an equality predicate", errInvalid)
+	}
+	if !pred.Orderable() {
+		return Result{}, fmt.Errorf("%w: alg7 needs an orderable join attribute", errInvalid)
+	}
+	outSchema, err := outputSchema2(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range cops {
+		c.ResetStats()
+	}
+	releases := make([]func(), 0, len(cops))
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	for _, c := range cops {
+		release, err := c.Grant(a7Memory)
+		if err != nil {
+			return Result{}, err
+		}
+		releases = append(releases, release)
+	}
+
+	host := cops[0].Host()
+	n := a.N + b.N
+	sumStats := func() sim.Stats {
+		var st sim.Stats
+		for _, c := range cops {
+			st.Add(c.Stats())
+		}
+		return st
+	}
+	if n == 0 {
+		out := host.FreshRegion("palg7.out", 0)
+		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: sumStats()}, nil
+	}
+
+	// Largest power-of-two device prefix, as in ParallelJoin3.
+	ps := 1
+	for ps*2 <= len(cops) {
+		ps *= 2
+	}
+	sortAll := func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
+		return oblivious.ParallelSort(cops[:ps], region, n, less)
+	}
+	// Each side expands on its own half of the prefix (the halves of a
+	// power of two are powers of two); with one usable device both sides
+	// still run concurrently, each on a single-device sorter.
+	sideA, sideB := cops[:1], cops[:1]
+	if ps >= 2 {
+		sideA, sideB = cops[:ps/2], cops[ps/2:ps]
+	} else if len(cops) >= 2 {
+		sideB = cops[1:2]
+	}
+	sideSort := func(group []*sim.Coprocessor) a7SortFunc {
+		return func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
+			return oblivious.ParallelSort(group, region, n, less)
+		}
+	}
+
+	codecA := newA7Codec(pred, a.Schema, b.Schema)
+	codecB := newA7Codec(pred, a.Schema, b.Schema) // sides run concurrently; codecs hold scratch
+
+	w := host.FreshRegion("palg7.w", int(oblivious.NextPow2(n)))
+	if err := cops[0].TransformRange(w, 0, a.Region, 0, a.N, func(_ int64, pt []byte) ([]byte, error) {
+		return codecA.wrap(a7TagA, pt), nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := cops[0].TransformRange(w, a.N, b.Region, 0, b.N, func(_ int64, pt []byte) ([]byte, error) {
+		return codecA.wrap(a7TagB, pt), nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := sortAll(w, n, codecA.lessKeyTag); err != nil {
+		return Result{}, err
+	}
+	s, err := codecA.indexScans(cops[0], w, n)
+	if err != nil {
+		return Result{}, err
+	}
+
+	out := host.FreshRegion("palg7.out", int(s))
+	if s == 0 {
+		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: sumStats()}, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		ea, eb sim.RegionID
+		errA   error
+		errB   error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ea, errA = codecA.expandSide(sideA[0], sideSort(sideA), w, n, s, a7TagA)
+	}()
+	go func() {
+		defer wg.Done()
+		eb, errB = codecB.expandSide(sideB[0], sideSort(sideB), w, n, s, a7TagB)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return Result{}, errA
+	}
+	if errB != nil {
+		return Result{}, errB
+	}
+	if err := sortAll(eb, s, codecA.lessDest); err != nil {
+		return Result{}, err
+	}
+	if err := codecA.stitch(cops[0], out, ea, eb, s, outSchema); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
+		OutputLen: s,
+		Stats:     sumStats(),
+	}, nil
+}
+
 func min64(a, b int64) int64 {
 	if a < b {
 		return a

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"math/bits"
 	"sync"
 	"testing"
 
@@ -148,27 +147,49 @@ func TestConcurrentFleetsOneHost(t *testing.T) {
 
 // expectedParallelSortStats replays ParallelSort's comparator schedule for p
 // devices over m (power-of-two, no padding) cells: every comparator costs 2
-// gets, 2 puts and 1 comparison, phase 1 gives each device one local bitonic
-// sort of a block, and each phase-2 stage assigns its disjoint merge-split
-// pairs round-robin.
+// gets, 2 puts and 1 comparison. Phase 1 gives each device one local bitonic
+// sort of a block; phase 2 is the binary odd-even merge tree, each merge's
+// stride sub-recursions splitting the device group in half and the closing
+// comparator chain landing on the group's first device.
 func expectedParallelSortStats(p int, m int64) []sim.Stats {
 	block := m / int64(p)
 	comps := make([]uint64, p)
 	for w := range comps {
 		comps[w] += uint64(oblivious.Comparators(block))
 	}
-	// A merge-split is the cross half-cleaner (block comparators) plus two
-	// bitonic merges of block cells ((block/2)·log₂block comparators each).
-	msComps := uint64(block) + uint64(block)*uint64(bits.Len64(uint64(block))-1)
-	for k := int64(2); k <= int64(p); k <<= 1 {
-		for j := k >> 1; j > 0; j >>= 1 {
-			w := 0
-			for i := int64(0); i < int64(p); i++ {
-				if l := i ^ j; l > i {
-					comps[w%p] += msComps
-					w++
-				}
+	var seqMerge func(m2, r int64) uint64
+	seqMerge = func(m2, r int64) uint64 {
+		step := r * 2
+		if step >= m2 {
+			return 1
+		}
+		c := 2 * seqMerge(m2, step)
+		for i := r; i+r < m2; i += step {
+			c++
+		}
+		return c
+	}
+	var replay func(devs []int, m2, r int64)
+	replay = func(devs []int, m2, r int64) {
+		step := r * 2
+		if len(devs) <= 1 || step >= m2 {
+			comps[devs[0]] += seqMerge(m2, r)
+			return
+		}
+		half := len(devs) / 2
+		replay(devs[:half], m2, step)
+		replay(devs[half:], m2, step)
+		comps[devs[0]] += uint64(m2/step - 1)
+	}
+	for width := block; width < m; width <<= 1 {
+		merges := m / (2 * width)
+		devs := int64(p) / merges
+		for w := int64(0); w < merges; w++ {
+			group := make([]int, devs)
+			for i := range group {
+				group[i] = int(w*devs) + i
 			}
+			replay(group, 2*width, 1)
 		}
 	}
 	stats := make([]sim.Stats, p)

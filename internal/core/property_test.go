@@ -34,7 +34,7 @@ func TestPipelineProperty(t *testing.T) {
 		if n == 0 {
 			n = 1
 		}
-		for _, alg := range []string{"alg1", "alg2", "alg3", "alg4", "alg5", "alg6"} {
+		for _, alg := range []string{"alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "alg7"} {
 			h := sim.NewHost(0)
 			cop, err := sim.NewCoprocessor(h, sim.Config{Memory: mem, Sealer: sim.PlainSealer{}, Seed: sh.Seed | 1})
 			if err != nil {
@@ -64,6 +64,8 @@ func TestPipelineProperty(t *testing.T) {
 				var rep Join6Report
 				rep, err = Join6(cop, []sim.Table{tabA, tabB}, relation.Pairwise(eq), 1e-6)
 				res = rep.Result
+			case "alg7":
+				res, err = Join7(cop, tabA, tabB, eq)
 			}
 			if err != nil {
 				t.Logf("%s failed on %+v: %v", alg, sh, err)

@@ -1,0 +1,88 @@
+package costmodel
+
+// Algorithm 7 (the sort-based O(n log n) oblivious equijoin, after
+// Krastnikov et al.) is built from fixed networks, so its cost model is not
+// an approximation like Eqns 5.2-5.7 but the exact transfer count of the
+// implementation. The arithmetic below mirrors internal/oblivious's
+// SortTransfers / DistributeTransfers closed forms (pinned equal by test)
+// so this package stays free of simulator dependencies.
+
+// nextPow2 returns the smallest power of two ≥ n (1 for n ≤ 1).
+func nextPow2(n int64) int64 {
+	m := int64(1)
+	for m < n {
+		m <<= 1
+	}
+	return m
+}
+
+// bitonicSortTransfers is the exact transfer count of the bitonic sort over
+// n cells: (m−n) pad writes plus four transfers per comparator, with
+// m = nextPow2(n) and (m/2)·k(k+1)/2 comparators for k = log₂ m.
+func bitonicSortTransfers(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	m := nextPow2(n)
+	var k int64
+	for p := m; p > 1; p >>= 1 {
+		k++
+	}
+	comparators := (m / 2) * k * (k + 1) / 2
+	return (m - n) + 4*comparators
+}
+
+// distributeTransfers is the exact transfer count of the distribution
+// network over m = 2^k cells: four per routing pair, m·log₂m − (m−1) pairs.
+func distributeTransfers(m int64) int64 {
+	var pairs int64
+	for j := m / 2; j >= 1; j >>= 1 {
+		pairs += m - j
+	}
+	return 4 * pairs
+}
+
+// Alg7Cost is the exact transfer cost of Algorithm 7 for |A| = aN, |B| = bN
+// and join size S = s, mirroring core.Join7Transfers term by term:
+//
+//	2n + Sort(n) + 6n                                union build, key sort, scans
+//	+ 2·[2n + Sort(n) + 2t + (m−t) + Dist(m) + 2S]  per-side expansion
+//	+ Sort(S) + 3S                                  B alignment and stitch
+//
+// with n = aN+bN, t = min(n, S), m = nextPow2(S). Unlike Algorithms 2-6 the
+// device memory M never appears: the algorithm's resident state is O(1)
+// cells. Asymptotically the sorts dominate: O(n log²n + S log²S) with the
+// bitonic networks, versus Algorithm 5's S + ⌈S/M⌉·L for L = |A|·|B|.
+func Alg7Cost(aN, bN, s int64) float64 {
+	n := aN + bN
+	if n == 0 {
+		return 0
+	}
+	total := 2*n + bitonicSortTransfers(n) + 6*n
+	if s == 0 {
+		return float64(total)
+	}
+	m := nextPow2(s)
+	t := n
+	if s < t {
+		t = s
+	}
+	side := 2*n + bitonicSortTransfers(n) + 2*t + (m - t) +
+		distributeTransfers(m) + 2*s
+	return float64(total + 2*side + bitonicSortTransfers(s) + 3*s)
+}
+
+// CrossoverN57 returns the smallest n = |A| = |B| (doubling from 2) at
+// which Algorithm 7 becomes cheaper than Algorithm 5 with device memory m
+// on the matched-keys workload S = n (each row joins exactly once), or 0 if
+// it never does up to n = 2²⁰. Past this point the planner's "auto" mode
+// flips to the sort-based join; below it the scan-based joins win on
+// constants.
+func CrossoverN57(m int64) int64 {
+	for n := int64(2); n <= 1<<20; n <<= 1 {
+		if Alg7Cost(n, n, n) < Alg5Cost(n*n, n, m) {
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"ppj/internal/core"
+	"ppj/internal/costmodel"
+)
+
+// TestAlg7CostMatchesImplementation pins the cost model to the
+// implementation's exact closed form across a grid of shapes — the model is
+// a transcription, not an approximation, so equality is exact.
+func TestAlg7CostMatchesImplementation(t *testing.T) {
+	shapes := []struct{ aN, bN, s int64 }{
+		{0, 0, 0}, {1, 1, 1}, {5, 9, 0}, {8, 12, 6}, {63, 65, 64},
+		{128, 128, 128}, {100, 300, 1000}, {2048, 2048, 2048}, {30, 30, 729},
+	}
+	for _, sh := range shapes {
+		got := costmodel.Alg7Cost(sh.aN, sh.bN, sh.s)
+		want := float64(core.Join7Transfers(sh.aN, sh.bN, sh.s))
+		if got != want {
+			t.Errorf("Alg7Cost(%d,%d,%d) = %v, want implementation count %v", sh.aN, sh.bN, sh.s, got, want)
+		}
+	}
+}
+
+// TestAlg7CrossoverAgainstCh5 places Algorithm 7 on the performance map:
+// on the matched-keys workload (|A| = |B| = n, S = n, L = n²) the
+// scan-based Algorithms 5 and 6 win at small n on constants, and the
+// sort-based Algorithm 7 wins past a crossover that must exist and be
+// moderate for realistic memories — the n² scans can't keep up with
+// n log²n forever.
+func TestAlg7CrossoverAgainstCh5(t *testing.T) {
+	const m = 2048
+	cross := costmodel.CrossoverN57(m)
+	if cross == 0 {
+		t.Fatal("Algorithm 7 never overtakes Algorithm 5")
+	}
+	if cross > 1<<14 {
+		t.Fatalf("crossover n=%d implausibly large for M=%d", cross, m)
+	}
+	// Below the crossover alg5 wins, above it alg7 wins — and keeps winning.
+	small := cross / 4
+	if small >= 2 {
+		if costmodel.Alg7Cost(small, small, small) < costmodel.Alg5Cost(small*small, small, m) {
+			t.Fatalf("alg7 already cheaper at n=%d, below reported crossover %d", small, cross)
+		}
+	}
+	for n := cross; n <= cross*16; n <<= 1 {
+		a7 := costmodel.Alg7Cost(n, n, n)
+		if a5 := costmodel.Alg5Cost(n*n, n, m); a7 >= a5 {
+			t.Fatalf("n=%d: alg7 %v not cheaper than alg5 %v past crossover", n, a7, a5)
+		}
+		if a6 := costmodel.Alg6Cost(n*n, n, m, 1e-6).Total; n >= 4*cross && a7 >= a6 {
+			t.Fatalf("n=%d: alg7 %v not cheaper than alg6 %v well past crossover", n, a7, a6)
+		}
+	}
+	// At n = 4096 the separation is the headline: alg7 under a quarter of
+	// alg5's transfers (the BENCH_8 acceptance bar).
+	if a7, a5 := costmodel.Alg7Cost(4096, 4096, 4096), costmodel.Alg5Cost(4096*4096, 4096, m); a7 >= 0.25*a5 {
+		t.Fatalf("alg7 %v not under 25%% of alg5 %v at n=4k", a7, a5)
+	}
+}
+
+// TestAlg7CrossoverAgainstAlg3 pins the Chapter 4 comparison: Algorithm 3
+// is Θ(|A|·|B|) even at N=1, so Algorithm 7 overtakes it too.
+func TestAlg7CrossoverAgainstAlg3(t *testing.T) {
+	var crossed bool
+	for n := int64(2); n <= 1<<14; n <<= 1 {
+		a7 := costmodel.Alg7Cost(n, n, n)
+		a3 := costmodel.Alg3Cost(n, n, 1, false)
+		if crossed && a7 >= a3 {
+			t.Fatalf("n=%d: alg7 %v fell back behind alg3 %v", n, a7, a3)
+		}
+		if a7 < a3 {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("Algorithm 7 never overtakes Algorithm 3 up to n=2^14")
+	}
+}

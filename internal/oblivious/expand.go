@@ -1,0 +1,121 @@
+package oblivious
+
+import (
+	"fmt"
+
+	"ppj/internal/sim"
+)
+
+// This file implements the oblivious distribution network and the oblivious
+// fill-forward scan, the expansion primitives behind the O(n log n)-style
+// equijoin (Algorithm 7, after Krastnikov et al., "Efficient Oblivious
+// Database Joins", PAPERS.md). Together they obliviously expand a compacted
+// list of tuples by prefix-summed multiplicities: Distribute routes each
+// tuple to the first output slot of its group, FillForward duplicates it
+// into the remaining slots. Like the sorting networks, every step's access
+// schedule is a pure function of the (public) array length — the pairs
+// touched, their order, and the four transfers per pair never depend on
+// cell contents.
+
+// RouteFunc inspects a decrypted cell and reports whether it is a real
+// element and, if so, the output slot it is destined for. It is evaluated
+// inside T; the result never reaches the host.
+type RouteFunc func(pt []byte) (real bool, dest int64)
+
+// Distribute obliviously routes the real cells of region [0, m) to their
+// destinations. m must be a power of two. The input must be compacted:
+// the real cells occupy a prefix [0, K), their destinations are strictly
+// increasing, and cell k's destination satisfies dest ≥ k (destinations are
+// distinct slots of [0, m), so this always holds after a rank-preserving
+// compaction). Cells vacated by a move become whatever non-real cell
+// previously occupied the destination, so callers interleave real cells
+// with uniform "empty" fillers of the same size.
+//
+// The network processes strides j = m/2, m/4, …, 1; within a stride,
+// positions i = m−j−1 down to 0, moving T[i] forward to T[i+j] exactly when
+// T[i] is real and its destination is at least i+j. An element whose
+// destination d lies in [i+j, i+2j) arrives exactly at d after the
+// remaining strides (the standard induction: after stride j every real
+// cell is within j−1 slots of its destination, and no two cells collide
+// because destinations are strictly increasing). Every pair costs four
+// transfers — get both, decide inside T, put both — regardless of the
+// decision, so the trace is content-independent.
+func Distribute(t *sim.Coprocessor, region sim.RegionID, m int64, route RouteFunc) error {
+	if m < 0 || m&(m-1) != 0 {
+		return fmt.Errorf("oblivious: distribute length %d is not a power of two", m)
+	}
+	x := new(xchg)
+	for j := m / 2; j >= 1; j >>= 1 {
+		for i := m - j - 1; i >= 0; i-- {
+			if err := x.routeExchange(t, region, i, i+j, route); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// routeExchange performs one distribution pair: get cells i and i+j, decide
+// inside T whether the forward move fires, put both cells back (swapped or
+// re-encrypted in place). Charged as one comparison, like a sort
+// compare-exchange.
+func (x *xchg) routeExchange(t *sim.Coprocessor, region sim.RegionID, i, j int64, route RouteFunc) error {
+	x.idx[0], x.idx[1] = i, j
+	var err error
+	x.pts, err = t.GetBatchInto(x.pts, region, x.idx[:])
+	if err != nil {
+		return err
+	}
+	t.ChargeCompare()
+	if real, dest := route(x.pts[0]); real && dest >= j {
+		x.pts[0], x.pts[1] = x.pts[1], x.pts[0]
+	}
+	return t.PutBatch(region, x.idx[:], x.pts)
+}
+
+// DistributePairs is the exact number of routing pairs Distribute executes
+// for m = 2^k cells: Σ_j (m − j) over j = m/2 … 1, i.e. m·log₂m − (m−1).
+func DistributePairs(m int64) int64 {
+	var pairs int64
+	for j := m / 2; j >= 1; j >>= 1 {
+		pairs += m - j
+	}
+	return pairs
+}
+
+// DistributeTransfers is the exact transfer count of Distribute: four per
+// routing pair.
+func DistributeTransfers(m int64) int64 { return 4 * DistributePairs(m) }
+
+// FillForward performs the duplication half of the oblivious expansion: a
+// single forward scan over cells [0, n) during which T retains a copy of
+// the most recent real cell ("held") and rewrites every cell through fn.
+// For a real cell, held is the cell itself; for a filler cell, held is the
+// nearest real cell to its left — fn typically emits a copy of held with an
+// adjusted occurrence index. Every cell is read and rewritten exactly once
+// (2n transfers), so the pattern is content-independent; the held copy is
+// the one tuple of algorithm-visible state, which callers cover with a
+// Grant. fn must not retain pt, held, or its return value past the call.
+//
+// If the first cell is not real there is nothing to duplicate from and
+// FillForward fails — expansion inputs always place a real cell at slot 0.
+func FillForward(t *sim.Coprocessor, region sim.RegionID, n int64,
+	isReal func(pt []byte) bool, fn func(k int64, pt, held []byte) ([]byte, error)) error {
+	var held []byte
+	return t.TransformRange(region, 0, region, 0, n, func(k int64, pt []byte) ([]byte, error) {
+		if isReal(pt) {
+			held = append(held[:0], pt...)
+		} else if held == nil {
+			return nil, fmt.Errorf("oblivious: fill-forward cell %d has no real predecessor", k)
+		}
+		return fn(k, pt, held)
+	})
+}
+
+// FillForwardTransfers is the exact transfer count of FillForward.
+func FillForwardTransfers(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return 2 * n
+}

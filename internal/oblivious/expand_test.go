@@ -1,0 +1,215 @@
+package oblivious
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"ppj/internal/sim"
+)
+
+// Expansion-cell test codec: flag byte (1 = real) + dest uint64 + id uint64.
+// All cells are the same length, real or not, as the algorithms require.
+func expCell(real bool, dest, id int64) []byte {
+	b := make([]byte, 17)
+	if real {
+		b[0] = 1
+	}
+	binary.BigEndian.PutUint64(b[1:], uint64(dest))
+	binary.BigEndian.PutUint64(b[9:], uint64(id))
+	return b
+}
+
+func expRoute(pt []byte) (bool, int64) {
+	return pt[0] == 1, int64(binary.BigEndian.Uint64(pt[1:]))
+}
+
+func expID(pt []byte) int64 { return int64(binary.BigEndian.Uint64(pt[9:])) }
+
+// loadExpCells writes a compacted prefix of K real cells with the given
+// destinations into a region of m cells, filling the rest with empties.
+func loadExpCells(t *testing.T, h *sim.Host, cop *sim.Coprocessor, m int64, dests []int64) sim.RegionID {
+	t.Helper()
+	id := h.MustCreateRegion("exp", int(m))
+	for i := int64(0); i < m; i++ {
+		cell := expCell(false, 0, -1)
+		if i < int64(len(dests)) {
+			cell = expCell(true, dests[i], i)
+		}
+		if err := cop.Put(id, i, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cop.ResetStats()
+	return id
+}
+
+// TestDistributePlacesAllPatterns drives the routing network over every
+// subset-like destination pattern of small sizes and random sparse patterns
+// of larger ones: real cell k (holding id k) must land exactly at dests[k]
+// with every other slot empty.
+func TestDistributePlacesAllPatterns(t *testing.T) {
+	check := func(t *testing.T, m int64, dests []int64) {
+		t.Helper()
+		h, cop := newPair(t, 7)
+		id := loadExpCells(t, h, cop, m, dests)
+		if err := Distribute(cop, id, m, expRoute); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := int64(cop.Stats().Transfers()), DistributeTransfers(m); got != want {
+			t.Fatalf("m=%d dests=%v: %d transfers, want %d", m, dests, got, want)
+		}
+		want := make(map[int64]int64, len(dests))
+		for k, d := range dests {
+			want[d] = int64(k)
+		}
+		for i := int64(0); i < m; i++ {
+			pt, err := cop.Get(id, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			real, _ := expRoute(pt)
+			wantID, wantReal := want[i]
+			if real != wantReal {
+				t.Fatalf("m=%d dests=%v: slot %d real=%v, want %v", m, dests, i, real, wantReal)
+			}
+			if real && expID(pt) != wantID {
+				t.Fatalf("m=%d dests=%v: slot %d holds id %d, want %d", m, dests, i, expID(pt), wantID)
+			}
+		}
+	}
+
+	// Exhaustive over m=8: every strictly increasing destination sequence
+	// with dest_k >= k is a valid compacted input.
+	var rec func(dests []int64, next int64)
+	var all [][]int64
+	rec = func(dests []int64, next int64) {
+		cp := append([]int64(nil), dests...)
+		all = append(all, cp)
+		for d := next; d < 8; d++ {
+			if d >= int64(len(dests)) {
+				rec(append(dests, d), d+1)
+			}
+		}
+	}
+	rec(nil, 0)
+	for _, dests := range all {
+		check(t, 8, dests)
+	}
+
+	// Random sparse patterns at larger sizes.
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, m := range []int64{16, 64, 256} {
+		for trial := 0; trial < 8; trial++ {
+			var dests []int64
+			for d := int64(0); d < m; d++ {
+				if int64(len(dests)) <= d && rng.IntN(3) == 0 {
+					dests = append(dests, d)
+				}
+			}
+			check(t, m, dests)
+		}
+	}
+}
+
+// TestDistributeRejectsNonPow2 pins the power-of-two precondition.
+func TestDistributeRejectsNonPow2(t *testing.T) {
+	h, cop := newPair(t, 3)
+	id := h.MustCreateRegion("bad", 6)
+	_ = id
+	if err := Distribute(cop, id, 6, expRoute); err == nil {
+		t.Fatal("Distribute accepted a non-power-of-two length")
+	}
+}
+
+// TestDistributeScheduleInvariance pins content-independence: two runs over
+// unrelated destination patterns of the same length charge identical Stats,
+// and a single-device host trace digest is identical.
+func TestDistributeScheduleInvariance(t *testing.T) {
+	run := func(dests []int64) (sim.Stats, uint64) {
+		h, cop := newPair(t, 99)
+		id := loadExpCells(t, h, cop, 32, dests)
+		cop.ResetStats()
+		if err := Distribute(cop, id, 32, expRoute); err != nil {
+			t.Fatal(err)
+		}
+		return cop.Stats(), cop.Trace().Digest()
+	}
+	s1, d1 := run([]int64{0, 5, 9, 30})
+	s2, d2 := run([]int64{2, 3, 4, 5, 6, 17, 18, 19, 20, 31})
+	if s1 != s2 {
+		t.Fatalf("distribution stats depend on contents:\n %+v\n %+v", s1, s2)
+	}
+	if d1 != d2 {
+		t.Fatalf("distribution trace depends on contents: %x vs %x", d1, d2)
+	}
+}
+
+// TestFillForward checks the duplication scan: empties take a copy of the
+// nearest real cell to their left, with fn free to rewrite the occurrence.
+func TestFillForward(t *testing.T) {
+	h, cop := newPair(t, 5)
+	// real(id=10) _ _ real(id=20) _ real(id=30)
+	layout := []struct {
+		real bool
+		id   int64
+	}{{true, 10}, {false, 0}, {false, 0}, {true, 20}, {false, 0}, {true, 30}}
+	id := h.MustCreateRegion("fill", len(layout))
+	for i, c := range layout {
+		if err := cop.Put(id, int64(i), expCell(c.real, 0, c.id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cop.ResetStats()
+	isReal := func(pt []byte) bool { r, _ := expRoute(pt); return r }
+	err := FillForward(cop, id, int64(len(layout)), isReal, func(k int64, pt, held []byte) ([]byte, error) {
+		return expCell(true, k, expID(held)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(cop.Stats().Transfers()), FillForwardTransfers(int64(len(layout))); got != want {
+		t.Fatalf("%d transfers, want %d", got, want)
+	}
+	want := []int64{10, 10, 10, 20, 20, 30}
+	for i, w := range want {
+		pt, err := cop.Get(id, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expID(pt) != w {
+			t.Fatalf("slot %d holds id %d, want %d", i, expID(pt), w)
+		}
+	}
+}
+
+// TestFillForwardNoSource pins the error when the scan starts on a filler.
+func TestFillForwardNoSource(t *testing.T) {
+	h, cop := newPair(t, 5)
+	id := h.MustCreateRegion("fill0", 2)
+	for i := 0; i < 2; i++ {
+		if err := cop.Put(id, int64(i), expCell(false, 0, -1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	isReal := func(pt []byte) bool { r, _ := expRoute(pt); return r }
+	err := FillForward(cop, id, 2, isReal, func(k int64, pt, held []byte) ([]byte, error) {
+		return pt, nil
+	})
+	if err == nil {
+		t.Fatal("FillForward succeeded without a real first cell")
+	}
+}
+
+// TestDistributePairsFormula cross-checks the closed form against the loop.
+func TestDistributePairsFormula(t *testing.T) {
+	for _, m := range []int64{1, 2, 4, 8, 64, 1024} {
+		var want int64
+		for j := m / 2; j >= 1; j >>= 1 {
+			want += m - j
+		}
+		if got := DistributePairs(m); got != want {
+			t.Errorf("DistributePairs(%d) = %d, want %d", m, got, want)
+		}
+	}
+}

@@ -11,17 +11,26 @@ import (
 // coprocessors attached to the same host (§4.4.4, §5.3.5: "Each secure
 // coprocessor has about N/P items and first sorts them locally using
 // sequential bitonic sort. Then the P secure coprocessors sort the P sorted
-// lists using bitonic sort and treats each list as one single element.").
+// lists...").
 //
-// The "block as one element" comparator is realised as an oblivious
-// merge-split: a cross half-cleaner between the two sorted blocks followed
-// by a bitonic merge inside each block, leaving every element of the low
-// block ≤ every element of the high block with both blocks sorted. By the
-// 0-1 principle this block network sorts globally. All coprocessors must
-// share one sealer (they re-encrypt cells for each other).
+// The P sorted blocks are combined by a binary tree of Batcher odd-even
+// merges: each level merges adjacent sorted runs pairwise until one run
+// remains. Within a single merge, Batcher's two stride sub-recursions touch
+// disjoint cells (the even and odd index classes), so they run concurrently
+// on disjoint halves of the merge's device group; the closing comparator
+// chain is sequential. The paper's own phase 2 — a bitonic network over
+// blocks with merge-split comparators — has the same depth but performs
+// redundant merge-split work: at P=4 its total comparator count *exceeds*
+// the single-device network (the BENCH_3 P=4 regression on few-core hosts,
+// where wall time tracks total work, not critical path). The merge tree
+// does strictly fewer comparators than the sequential sort at every P while
+// keeping every stage's parallelism, so it wins on both axes. All
+// coprocessors must share one sealer (they re-encrypt cells for each
+// other).
 //
-// P must be a power of two. Within every stage the block pairs are disjoint
-// and run concurrently, one coprocessor per pair; stages are barriers.
+// P must be a power of two. Every device's comparator schedule is a pure
+// function of (n, P, its fleet position) — contents never influence which
+// cells a device touches.
 func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less LessFunc) error {
 	p := int64(len(cops))
 	if p == 0 {
@@ -64,31 +73,62 @@ func ParallelSort(cops []*sim.Coprocessor, region sim.RegionID, n int64, less Le
 		return err
 	}
 
-	// Phase 2: bitonic network over blocks, merge-split comparators.
-	for k := int64(2); k <= p; k <<= 1 {
-		for j := k >> 1; j > 0; j >>= 1 {
-			// Collect the disjoint pairs of this stage.
-			type pair struct{ lo, hi int64 }
-			var pairs []pair
-			for i := int64(0); i < p; i++ {
-				l := i ^ j
-				if l > i {
-					asc := i&k == 0
-					if asc {
-						pairs = append(pairs, pair{i, l})
-					} else {
-						pairs = append(pairs, pair{l, i})
-					}
-				}
-			}
-			if err := inParallel(int64(len(pairs)), func(w int64) error {
-				pr := pairs[w]
-				d := w % int64(len(cops))
-				return mergeSplit(cops[d], &xs[d], region,
-					pr.lo*block, pr.hi*block, block, wrapped)
-			}); err != nil {
-				return err
-			}
+	// Phase 2: binary tree of odd-even merges. Level by level, adjacent
+	// sorted runs of `width` cells merge into runs of 2·width; the m/(2w)
+	// merges of a level are disjoint and run concurrently, each on its own
+	// contiguous group of p/(m/2w) devices.
+	xsp := make([]*xchg, len(cops))
+	for i := range xs {
+		xsp[i] = &xs[i]
+	}
+	for width := block; width < m; width <<= 1 {
+		merges := m / (2 * width)
+		devs := p / merges
+		if err := inParallel(merges, func(w int64) error {
+			g := w * devs
+			return parallelOddEvenMerge(cops[g:g+devs], xsp[g:g+devs], region,
+				w*2*width, 2*width, 1, wrapped)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelOddEvenMerge runs Batcher's odd-even merge of the two sorted
+// halves of the m cells at lo over a device group: the two stride
+// sub-recursions operate on disjoint index classes (even and odd multiples
+// of r), so each takes half the group concurrently until a single device
+// remains, which falls back to the sequential recursion. The closing
+// comparator chain of each level runs on the group's first device after
+// both sub-merges complete.
+func parallelOddEvenMerge(cops []*sim.Coprocessor, xs []*xchg, region sim.RegionID, lo, m, r int64, less LessFunc) error {
+	step := r * 2
+	if len(cops) <= 1 || step >= m {
+		return oddEvenMerge(cops[0], xs[0], region, lo, m, r, less)
+	}
+	half := len(cops) / 2
+	var errEven, errOdd error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errEven = parallelOddEvenMerge(cops[:half], xs[:half], region, lo, m, step, less)
+	}()
+	go func() {
+		defer wg.Done()
+		errOdd = parallelOddEvenMerge(cops[half:], xs[half:], region, lo+r, m, step, less)
+	}()
+	wg.Wait()
+	if errEven != nil {
+		return errEven
+	}
+	if errOdd != nil {
+		return errOdd
+	}
+	for i := lo + r; i+r < lo+m; i += step {
+		if err := xs[0].compareExchange(cops[0], region, i, i+r, true, less); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -107,39 +147,6 @@ func sortSpanPow2(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m int64,
 				if err := x.compareExchange(t, region, lo+i, lo+l, ascending, less); err != nil {
 					return err
 				}
-			}
-		}
-	}
-	return nil
-}
-
-// mergeSplit merges two ascending-sorted blocks at lo and hi (each of block
-// cells, block a power of two) so that afterwards both are sorted and every
-// element at lo ≤ every element at hi.
-func mergeSplit(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, hi, block int64, less LessFunc) error {
-	// Cross half-cleaner over A ++ reverse(B).
-	for i := int64(0); i < block; i++ {
-		if err := x.compareExchange(t, region, lo+i, hi+block-1-i, true, less); err != nil {
-			return err
-		}
-	}
-	// Each block is now bitonic; merge each ascending.
-	if err := bitonicMerge(t, x, region, lo, block, less); err != nil {
-		return err
-	}
-	return bitonicMerge(t, x, region, hi, block, less)
-}
-
-// bitonicMerge sorts a bitonic sequence of m (power of two) cells ascending.
-func bitonicMerge(t *sim.Coprocessor, x *xchg, region sim.RegionID, lo, m int64, less LessFunc) error {
-	for j := m >> 1; j > 0; j >>= 1 {
-		for i := int64(0); i < m; i++ {
-			l := i ^ j
-			if l <= i {
-				continue
-			}
-			if err := x.compareExchange(t, region, lo+i, lo+l, true, less); err != nil {
-				return err
 			}
 		}
 	}

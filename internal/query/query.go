@@ -9,7 +9,10 @@
 // into code: equijoins unlock Algorithm 3, γ = ⌈N/M⌉ arbitrates between
 // Algorithms 1 and 2, exact-output requirements route to Chapter 5, memory
 // and ε pick among Algorithms 4, 5 and 6, and aggregates skip
-// materialisation entirely.
+// materialisation entirely. Orderable two-way equijoins under the exact
+// contract additionally admit Algorithm 7, the sort-based O(n log n)
+// oblivious equijoin, which overtakes the scan-based plans past the
+// cost-model crossover.
 package query
 
 import (
@@ -58,7 +61,7 @@ type Query struct {
 
 // Plan is the planner's decision.
 type Plan struct {
-	// Algorithm is 1..6, or 0 for the aggregation pass.
+	// Algorithm is 1..7, or 0 for the aggregation pass.
 	Algorithm int
 	// PredictedCost is the closed-form transfer estimate used to decide.
 	PredictedCost float64
@@ -69,7 +72,7 @@ type Plan struct {
 }
 
 // AlgorithmName renders the chosen algorithm in the contract vocabulary
-// ("alg1".."alg6", or "aggregate" for the aggregation pass), so schedulers
+// ("alg1".."alg7", or "aggregate" for the aggregation pass), so schedulers
 // that plan per-contract (an "auto" algorithm in internal/server) can feed
 // the decision back into the service execution path.
 func (p Plan) AlgorithmName() string {
@@ -82,8 +85,8 @@ func (p Plan) AlgorithmName() string {
 // Devices returns how many of the requested coprocessors the chosen
 // algorithm can exploit. Algorithms 2, 3 and 5 partition the outer relation
 // (or the rank space) across any device count; Algorithm 4's parallel decoy
-// filter is a parallel bitonic sort, which needs a power-of-two fleet; the
-// rest run on a single device.
+// filter and Algorithm 7's parallel sorts are parallel bitonic networks,
+// which need a power-of-two fleet; the rest run on a single device.
 func (p Plan) Devices(requested int) int {
 	if requested < 1 {
 		return 1
@@ -91,7 +94,7 @@ func (p Plan) Devices(requested int) int {
 	switch p.Algorithm {
 	case 2, 3, 5:
 		return requested
-	case 4:
+	case 4, 7:
 		ps := 1
 		for ps*2 <= requested {
 			ps *= 2
@@ -202,6 +205,18 @@ func (pl Planner) planCh5(q Query, rels []*relation.Relation) (Plan, error) {
 				Reason: fmt.Sprintf("privacy budget ε = %g permits n* = %d segments of random order", q.Epsilon, c6.NStar)}
 		}
 	}
+	// Algorithm 7 is admissible for two-way equijoins over an orderable
+	// attribute: the sort-based pipeline needs a total order on keys. It
+	// meets the same exact-output contract (S revealed, nothing else).
+	if len(rels) == 2 && q.Predicate != nil {
+		if eq, ok := q.Predicate.(*relation.Equi); ok && eq.Orderable() {
+			c7 := costmodel.Alg7Cost(int64(rels[0].Len()), int64(rels[1].Len()), s)
+			if c7 < best.PredictedCost {
+				best = Plan{Algorithm: 7, PredictedCost: c7,
+					Reason: "orderable equijoin past the crossover: sort-based O(n log n) pipeline beats the scans"}
+			}
+		}
+	}
 	return best, nil
 }
 
@@ -281,6 +296,8 @@ func (pl Planner) Execute(q Query, rels []*relation.Relation, seed uint64) (*rel
 		res, err = core.Join2(cop, tabs[0], tabs[1], q.Predicate, plan.N, 0)
 	case 3:
 		res, err = core.Join3(cop, tabs[0], tabs[1], q.Predicate.(*relation.Equi), plan.N, false)
+	case 7:
+		res, err = core.Join7(cop, tabs[0], tabs[1], q.Predicate.(*relation.Equi))
 	case 4, 5, 6:
 		mp, merr := q.multiPred(rels)
 		if merr != nil {

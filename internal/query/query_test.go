@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ppj/internal/core"
+	"ppj/internal/costmodel"
 	"ppj/internal/relation"
 )
 
@@ -82,7 +83,10 @@ func TestPlannerEpsilonUnlocksAlg6(t *testing.T) {
 	// S = 6,400, M = 64) Algorithm 5 wins without a privacy budget and
 	// Algorithm 6 wins with one — the planner reproduces Table 5.3's
 	// ordering. (The Plan call only evaluates closed forms plus one
-	// screening pass, so full-scale relations are fine.)
+	// screening pass, so full-scale relations are fine.) The join is posed
+	// as a MultiPredicate so the scan-based comparison stays the paper's
+	// own: a visible orderable Equi would admit Algorithm 7, which beats
+	// both at this scale (TestPlannerAutoFlipsToAlg7).
 	relA := relation.NewRelation(relation.KeyedSchema())
 	relB := relation.NewRelation(relation.KeyedSchema())
 	for i := 0; i < 800; i++ {
@@ -91,7 +95,7 @@ func TestPlannerEpsilonUnlocksAlg6(t *testing.T) {
 	}
 	// Each key 0..99 appears 8x in each relation: S = 100 * 64 = 6400.
 	rels := []*relation.Relation{relA, relB}
-	q := Query{Predicate: equi(t, relA, relB), Mode: Exact}
+	q := Query{Multi: relation.Pairwise(equi(t, relA, relB)), Mode: Exact}
 	noBudget, err := Planner{Memory: 64}.Plan(q, rels)
 	if err != nil {
 		t.Fatal(err)
@@ -225,5 +229,164 @@ func TestPlannerValidation(t *testing.T) {
 	}
 	if _, _, err := (Planner{Memory: 4}).ExecuteAggregate(Query{Predicate: equi(t, relA, relB)}, rels, 1); err == nil {
 		t.Error("ExecuteAggregate accepted row query")
+	}
+}
+
+// matchedKeys builds |A| = |B| = n relations where each row joins exactly
+// once (S = n) — the workload whose alg5-vs-alg7 crossover the cost model
+// solves in closed form.
+func matchedKeys(n int) []*relation.Relation {
+	relA := relation.NewRelation(relation.KeyedSchema())
+	relB := relation.NewRelation(relation.KeyedSchema())
+	for i := 0; i < n; i++ {
+		relA.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(int64(i) * 3)})
+		relB.MustAppend(relation.Tuple{relation.IntValue(int64(i)), relation.IntValue(int64(i) * 7)})
+	}
+	return []*relation.Relation{relA, relB}
+}
+
+// TestPlannerAutoFlipsToAlg7 pins the "auto" decision boundary: below the
+// cost-model crossover the planner keeps the scan-based Chapter 5 plans,
+// at and past it the sort-based Algorithm 7 wins, and the decision is
+// exactly the closed-form cost comparison.
+func TestPlannerAutoFlipsToAlg7(t *testing.T) {
+	const mem = 64
+	cross := costmodel.CrossoverN57(mem)
+	if cross == 0 || cross > 1<<12 {
+		t.Fatalf("implausible crossover %d for M=%d", cross, mem)
+	}
+	plan := func(n int) Plan {
+		rels := matchedKeys(n)
+		q := Query{Predicate: equi(t, rels[0], rels[1]), Mode: Exact}
+		p, err := Planner{Memory: mem}.Plan(q, rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	below := plan(int(cross) / 4)
+	if below.Algorithm == 7 {
+		t.Fatalf("below crossover (n=%d): plan = %s, want a scan-based algorithm", cross/4, below)
+	}
+	if below.Algorithm < 4 {
+		t.Fatalf("exact mode planned %s, want a Chapter 5 algorithm", below)
+	}
+	for _, n := range []int64{cross, 2 * cross} {
+		p := plan(int(n))
+		if p.Algorithm != 7 {
+			t.Fatalf("past crossover (n=%d): plan = %s, want Algorithm 7", n, p)
+		}
+		if p.AlgorithmName() != "alg7" {
+			t.Fatalf("AlgorithmName() = %q", p.AlgorithmName())
+		}
+		if want := costmodel.Alg7Cost(n, n, n); p.PredictedCost != want {
+			t.Fatalf("n=%d: predicted cost %g, want closed form %g", n, p.PredictedCost, want)
+		}
+	}
+	// The parallel variant sorts on a power-of-two fleet.
+	if got := plan(int(cross)).Devices(6); got != 4 {
+		t.Fatalf("Devices(6) = %d, want largest power of two 4", got)
+	}
+}
+
+// TestPlannerNeverPicksAlg7WhenInadmissible drives every route on which
+// Algorithm 7 must not be selected — padded output, J-way joins, opaque
+// and non-equality predicates, non-orderable join attributes — at a scale
+// where it would win on cost if admissibility were ignored.
+func TestPlannerNeverPicksAlg7WhenInadmissible(t *testing.T) {
+	rels := matchedKeys(1024)
+	eq := equi(t, rels[0], rels[1])
+
+	// Padded (Chapter 4) output: alg7's exact-S output shape breaks the
+	// N·|A| contract.
+	p, err := Planner{Memory: 64}.Plan(Query{Predicate: eq, Mode: PaddedN}, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm == 7 || p.Algorithm > 3 {
+		t.Fatalf("padded mode planned %s, want a Chapter 4 algorithm", p)
+	}
+
+	// An opaque MultiPredicate hides the equality structure.
+	p, err = Planner{Memory: 64}.Plan(Query{Multi: relation.Pairwise(eq), Mode: Exact}, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm == 7 {
+		t.Fatalf("opaque multi predicate planned %s", p)
+	}
+
+	// A non-equality 2-way predicate.
+	opaque := relation.PredicateFunc{Fn: func(a, b relation.Tuple) bool { return a[0].I == b[0].I }, Desc: "opaque"}
+	p, err = Planner{Memory: 64}.Plan(Query{Predicate: opaque, Mode: Exact}, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm == 7 {
+		t.Fatalf("non-equi predicate planned %s", p)
+	}
+
+	// Three relations: alg7 is strictly binary.
+	threeRels := append(matchedKeys(64), matchedKeys(64)[0])
+	p, err = Planner{Memory: 64}.Plan(Query{
+		Multi: relation.MultiPredicateFunc{Fn: func(ts []relation.Tuple) bool {
+			return ts[0][0].I == ts[1][0].I && ts[1][0].I == ts[2][0].I
+		}, Desc: "3way"},
+		Mode: Exact,
+	}, threeRels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm == 7 {
+		t.Fatalf("3-way join planned %s", p)
+	}
+
+	// A Set-typed join attribute has no total order: Equi admits it, the
+	// sort-based pipeline must not.
+	setSchema := relation.MustSchema(
+		relation.Attr{Name: "key", Type: relation.Set, Width: 4},
+		relation.Attr{Name: "payload", Type: relation.Int64},
+	)
+	setA, setB := relation.NewRelation(setSchema), relation.NewRelation(setSchema)
+	for i := 0; i < 512; i++ {
+		setA.MustAppend(relation.Tuple{relation.SetValue(uint32(i)), relation.IntValue(int64(i))})
+		setB.MustAppend(relation.Tuple{relation.SetValue(uint32(i)), relation.IntValue(int64(i))})
+	}
+	setEq, err := relation.NewEqui(setSchema, "key", setSchema, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setEq.Orderable() {
+		t.Fatal("Set attribute reported as orderable")
+	}
+	p, err = Planner{Memory: 64}.Plan(Query{Predicate: setEq, Mode: Exact}, []*relation.Relation{setA, setB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm == 7 {
+		t.Fatalf("non-orderable equijoin planned %s", p)
+	}
+}
+
+// TestExecuteRunsAlg7PastCrossover runs the full Execute path at a size the
+// planner resolves to Algorithm 7 and checks the decoded rows.
+func TestExecuteRunsAlg7PastCrossover(t *testing.T) {
+	const mem = 4
+	cross := costmodel.CrossoverN57(mem)
+	if cross == 0 || cross > 256 {
+		t.Skipf("crossover %d too large to execute in a unit test", cross)
+	}
+	rels := matchedKeys(int(cross))
+	eq := equi(t, rels[0], rels[1])
+	rows, plan, err := Planner{Memory: mem}.Execute(Query{Predicate: eq, Mode: Exact}, rels, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != 7 {
+		t.Fatalf("plan = %s, want Algorithm 7", plan)
+	}
+	want := relation.ReferenceJoin(rels[0], rels[1], eq)
+	if !relation.SameMultiset(rows, want) {
+		t.Fatalf("execute mismatch: got %d rows, want %d", rows.Len(), want.Len())
 	}
 }

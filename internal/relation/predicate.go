@@ -138,6 +138,56 @@ func (e *Equi) Less(x, y Tuple) bool {
 	}
 }
 
+// Orderable reports whether the join-attribute type admits a total order
+// (everything but Set), the precondition of the sort-based equijoins
+// (Algorithms 3 and 7).
+func (e *Equi) Orderable() bool {
+	switch e.typ {
+	case Int64, Float64, String, Bytes:
+		return true
+	default:
+		return false
+	}
+}
+
+// KeyA and KeyB extract the join-attribute value from a decoded tuple of
+// the respective side; Algorithm 7 sorts the union of both relations and
+// needs the key of a tuple regardless of which side it came from.
+func (e *Equi) KeyA(t Tuple) Value { return t[e.ia] }
+func (e *Equi) KeyB(t Tuple) Value { return t[e.ib] }
+
+// CompareKeys three-way-compares two join-attribute values of the
+// predicate's key type. Only defined for orderable types; Set values
+// compare equal.
+func (e *Equi) CompareKeys(a, b Value) int {
+	switch e.typ {
+	case Int64:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case Float64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+	case String:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+	case Bytes:
+		return bytes.Compare(a.B, b.B)
+	}
+	return 0
+}
+
 // Compare is the three-way version of Less for oblivious comparators.
 func (e *Equi) Compare(x, y Tuple) int {
 	switch {

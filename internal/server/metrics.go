@@ -147,7 +147,7 @@ type Snapshot struct {
 	// WALAppendFailures counts state transitions the WAL could not record;
 	// non-zero means recovery after a crash would lag the live job table.
 	WALAppendFailures uint64 `json:"wal_append_failures"`
-	// Algorithms maps the executed algorithm ("alg1".."alg6", "aggregate";
+	// Algorithms maps the executed algorithm ("alg1".."alg7", "aggregate";
 	// for auto contracts, the planner's choice) to its completion summary.
 	Algorithms map[string]AlgSnapshot `json:"algorithms"`
 	// Coprocessor aggregates sim.Stats across every finished execution:

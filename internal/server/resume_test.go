@@ -58,7 +58,7 @@ func genJoinSized(seed uint64, nA, nB, s int) (*relation.Relation, *relation.Rel
 		b.MustAppend(relation.Tuple{relation.IntValue(int64(j % nA)), relation.IntValue(rng.Int64N(1 << 30))})
 	}
 	for j := s; j < nB; j++ {
-		b.MustAppend(relation.Tuple{relation.IntValue(int64(nA) + rng.Int64N(1 << 20)), relation.IntValue(rng.Int64N(1 << 30))})
+		b.MustAppend(relation.Tuple{relation.IntValue(int64(nA) + rng.Int64N(1<<20)), relation.IntValue(rng.Int64N(1 << 30))})
 	}
 	return a, b
 }

@@ -88,9 +88,10 @@ type Contract struct {
 	ID        string
 	Parties   []Party
 	Predicate PredicateSpec
-	// Algorithm selects the join algorithm: "alg1".."alg6", or "aggregate"
-	// to compute only the contracted statistic (the recipient then learns
-	// one number, never the joined rows).
+	// Algorithm selects the join algorithm: "alg1".."alg7", "auto" to let
+	// the cost-model planner pick, or "aggregate" to compute only the
+	// contracted statistic (the recipient then learns one number, never the
+	// joined rows).
 	Algorithm string
 	// Epsilon is Algorithm 6's privacy trade-off parameter.
 	Epsilon float64

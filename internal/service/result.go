@@ -204,7 +204,13 @@ func (s *Service) DeliverStream(sess *Session, out Outcome, startChunk uint32) e
 	} else {
 		begin.Schema = toWire(out.Schema)
 	}
+	// startChunk == total is a legal resume point (every chunk consumed,
+	// end frame lost); with a partial last chunk the row offset must clamp
+	// to the row count or the declared stream length goes negative.
 	startRow := int(startChunk) * ResultChunkRows
+	if startRow > len(out.Rows) {
+		startRow = len(out.Rows)
+	}
 	begin.TotalChunks = total
 	begin.TotalRows = int64(len(out.Rows))
 	begin.StartChunk = startChunk

@@ -414,7 +414,7 @@ type Outcome struct {
 	Schema *relation.Schema
 	Padded bool
 	Agg    []byte
-	// Algorithm is the algorithm actually run ("alg1".."alg6" or
+	// Algorithm is the algorithm actually run ("alg1".."alg7" or
 	// "aggregate") — for "auto" contracts, the planner's choice.
 	Algorithm string
 	// Devices is the number of coprocessors the execution actually used
@@ -534,7 +534,7 @@ func (s *Service) planAlgorithm(rels []*relation.Relation) (query.Plan, error) {
 // algorithmNumber maps a contract algorithm name to its chapter number (0
 // when unknown), for the planner's device-count rule.
 func algorithmNumber(alg string) int {
-	if len(alg) == 4 && alg[:3] == "alg" && alg[3] >= '1' && alg[3] <= '6' {
+	if len(alg) == 4 && alg[:3] == "alg" && alg[3] >= '1' && alg[3] <= '7' {
 		return int(alg[3] - '0')
 	}
 	return 0
@@ -663,6 +663,27 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 			var rep core.Join6Report
 			rep, err = core.Join6(cop, tabs, pred, s.Contract.Epsilon)
 			res = rep.Result
+		}
+		if err != nil {
+			return fail(err)
+		}
+		padded = false
+	case "alg7":
+		if len(rels) != 2 {
+			return fail(fmt.Errorf("service: %s requires exactly 2 providers", alg))
+		}
+		pred, err := s.Contract.Predicate.Build(rels[0].Schema, rels[1].Schema)
+		if err != nil {
+			return fail(err)
+		}
+		eq, ok := pred.(*relation.Equi)
+		if !ok {
+			return fail(errors.New("service: alg7 requires an equi predicate"))
+		}
+		if devices > 1 {
+			res, err = core.ParallelJoin7(cops, tabs[0], tabs[1], eq)
+		} else {
+			res, err = core.Join7(cop, tabs[0], tabs[1], eq)
 		}
 		if err != nil {
 			return fail(err)

@@ -127,7 +127,7 @@ func TestEndToEndAllAlgorithms(t *testing.T) {
 		eq, _ := relation.NewEqui(relA.Schema, "key", relB.Schema, "key")
 		return relation.ReferenceJoin(relA, relB, eq)
 	}()
-	for _, alg := range []string{"alg1", "alg2", "alg3", "alg4", "alg5", "alg6"} {
+	for _, alg := range []string{"alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "alg7"} {
 		t.Run(alg, func(t *testing.T) {
 			contract := buildContract(t, alg, pA, pB, pC, pred, 1e-9)
 			svc, err := NewService(contract, 8, 99)

@@ -121,11 +121,14 @@ const (
 	Alg5
 	// Alg6 is the Chapter 5 privacy/efficiency trade-off join (§5.3.3).
 	Alg6
+	// Alg7 is the sort-based O(n log n) oblivious equijoin (after
+	// Krastnikov et al.), exact output like Chapter 5.
+	Alg7
 )
 
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {
-	if a >= Alg1 && a <= Alg6 {
+	if a >= Alg1 && a <= Alg7 {
 		return fmt.Sprintf("Algorithm %d", int(a))
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
@@ -229,6 +232,18 @@ func (e *Engine) Join(alg Algorithm, tables []TableRef, pred MultiPredicate, opt
 		}
 		rep, err := core.Join6(e.cop, tables, pred, eps)
 		return rep.Result, err
+	case Alg7:
+		if len(tables) != 2 {
+			return Result{}, fmt.Errorf("ppj: %s needs exactly 2 tables", alg)
+		}
+		if opts.Pred2 == nil {
+			return Result{}, fmt.Errorf("ppj: %s needs JoinOptions.Pred2", alg)
+		}
+		eq, ok := opts.Pred2.(*relation.Equi)
+		if !ok {
+			return Result{}, fmt.Errorf("ppj: Alg7 requires an equijoin predicate")
+		}
+		return core.Join7(e.cop, tables[0], tables[1], eq)
 	default:
 		return Result{}, fmt.Errorf("ppj: unknown algorithm %d", alg)
 	}

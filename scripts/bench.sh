@@ -9,11 +9,13 @@
 # Usage: scripts/bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -bench=. -benchtime=1x -benchmem . ./internal/server | tee "$tmp"
+# The full BenchmarkJoinScaling sweep (n=1k and n=4k) only runs with this
+# set; without it the benchmark stays smoke-sized for CI.
+PPJ_BENCH_FULL=1 go test -bench=. -benchtime=1x -benchmem . ./internal/server | tee "$tmp"
 
 awk '
 /^Benchmark/ {
@@ -40,3 +42,17 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+# Acceptance gate for the sort-based join: at n=4k its measured transfers
+# must come in under 25% of Algorithm 5's on the same matched-keys workload.
+# (Measured-vs-model agreement needs no gate here: the benchmark itself
+# fails unless measured transfers equal the cost model exactly.)
+t7=$(sed -n 's/.*"BenchmarkJoinScaling\/alg7\/n=4096": {.*"transfers": \([0-9.e+]*\).*/\1/p' "$out")
+t5=$(sed -n 's/.*"BenchmarkJoinScaling\/alg5\/n=4096": {.*"transfers": \([0-9.e+]*\).*/\1/p' "$out")
+if [ -n "$t7" ] && [ -n "$t5" ]; then
+    awk -v a="$t7" -v b="$t5" 'BEGIN {
+        ratio = a / b
+        printf "alg7/alg5 transfers at n=4k: %.3f (gate: < 0.25)\n", ratio
+        exit (ratio < 0.25) ? 0 : 1
+    }'
+fi
