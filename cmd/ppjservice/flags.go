@@ -24,6 +24,10 @@ type options struct {
 	maxResultBytes int64
 	resultTTL      time.Duration
 	legacyUpload   bool
+	maxCacheBytes  int64
+	tenantInFlight int
+	tenantRate     float64
+	tenantBurst    float64
 }
 
 // parseFlags binds the flag set, parses args, and validates the result.
@@ -47,6 +51,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.Int64Var(&o.maxResultBytes, "max-result-bytes", 0, "byte cap of the durable result store per shard; LRU-evicts over it (0 is unbounded)")
 	fs.DurationVar(&o.resultTTL, "result-ttl", 0, "stored results unfetched for this long are evicted; 0 keeps them forever")
 	fs.BoolVar(&o.legacyUpload, "legacy-upload", false, "re-enable the deprecated one-shot legacy upload protocol")
+	fs.Int64Var(&o.maxCacheBytes, "max-cache-bytes", 0, "byte cap of the sorted-relation cache per shard (0 is unbounded)")
+	fs.IntVar(&o.tenantInFlight, "tenant-max-inflight", 0, "per-tenant cap on unsettled jobs, fleet-wide (0 is unlimited)")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 0, "per-tenant submission rate in jobs/second (0 disables rate limiting)")
+	fs.Float64Var(&o.tenantBurst, "tenant-burst", 0, "token-bucket capacity for -tenant-rate (floored at 1)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -89,6 +97,21 @@ func (o *options) validate() error {
 	}
 	if o.resultTTL < 0 {
 		return fmt.Errorf("-result-ttl must not be negative, got %v", o.resultTTL)
+	}
+	if o.maxCacheBytes < 0 {
+		return fmt.Errorf("-max-cache-bytes must not be negative, got %d", o.maxCacheBytes)
+	}
+	if o.tenantInFlight < 0 {
+		return fmt.Errorf("-tenant-max-inflight must not be negative, got %d", o.tenantInFlight)
+	}
+	if o.tenantRate < 0 {
+		return fmt.Errorf("-tenant-rate must not be negative, got %v", o.tenantRate)
+	}
+	if o.tenantBurst < 0 {
+		return fmt.Errorf("-tenant-burst must not be negative, got %v", o.tenantBurst)
+	}
+	if o.tenantBurst > 0 && o.tenantRate == 0 {
+		return fmt.Errorf("-tenant-burst needs -tenant-rate: a bucket with no refill admits nothing after the burst")
 	}
 	return nil
 }

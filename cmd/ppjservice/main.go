@@ -78,6 +78,10 @@ func main() {
 		UploadDeadline:    o.uploadDeadline,
 		MaxResultBytes:    o.maxResultBytes,
 		ResultTTL:         o.resultTTL,
+		MaxCacheBytes:     o.maxCacheBytes,
+		TenantMaxInFlight: o.tenantInFlight,
+		TenantRate:        o.tenantRate,
+		TenantBurst:       o.tenantBurst,
 		AllowLegacyUpload: o.legacyUpload,
 		Logf:              log.Printf,
 		DataDir:           o.dataDir,

@@ -98,42 +98,46 @@ func Join7(t *sim.Coprocessor, a, b sim.Table, pred *relation.Equi) (Result, err
 		return Result{}, err
 	}
 
-	// Phase 3: index scans.
-	s, err := codec.indexScans(t, w, n)
-	if err != nil {
-		return Result{}, err
-	}
-
-	out := host.FreshRegion("alg7.out", int(s))
-	if s == 0 {
-		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: t.Stats()}, nil
-	}
-
-	// Phase 4: per-side compaction, distribution, duplication.
+	// Phases 3–5: index scans, per-side expansion, alignment, stitch.
 	sort := func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
 		return oblivious.Sort(t, region, n, less)
 	}
-	ea, err := codec.expandSide(t, sort, w, n, s, a7TagA)
+	out, s, err := join7Tail(t, codec, sort, w, n, outSchema, "alg7.out")
 	if err != nil {
 		return Result{}, err
+	}
+	return Result{Output: out, OutputLen: s, Stats: t.Stats()}, nil
+}
+
+// join7Tail runs phases 3–5 of Algorithm 7 over a key-sorted union held in
+// the first n cells of w: the three index scans, both side expansions, the
+// B alignment sort, and the stitch. Shared by Join7 and Join7Cached — the
+// tail's schedule is identical however the sorted union was produced, a
+// pure function of (n, S).
+func join7Tail(t *sim.Coprocessor, codec *a7Codec, sort a7SortFunc, w sim.RegionID, n int64, outSchema *relation.Schema, outName string) (sim.Table, int64, error) {
+	s, err := codec.indexScans(t, w, n)
+	if err != nil {
+		return sim.Table{}, 0, err
+	}
+	out := t.Host().FreshRegion(outName, int(s))
+	if s == 0 {
+		return sim.Table{Region: out, N: 0, Schema: outSchema}, 0, nil
+	}
+	ea, err := codec.expandSide(t, sort, w, n, s, a7TagA)
+	if err != nil {
+		return sim.Table{}, 0, err
 	}
 	eb, err := codec.expandSide(t, sort, w, n, s, a7TagB)
 	if err != nil {
-		return Result{}, err
+		return sim.Table{}, 0, err
 	}
-	if err := oblivious.Sort(t, eb, s, codec.lessDest); err != nil {
-		return Result{}, err
+	if err := sort(eb, s, codec.lessDest); err != nil {
+		return sim.Table{}, 0, err
 	}
-
-	// Phase 5: stitch the aligned sides into oTuple join rows.
 	if err := codec.stitch(t, out, ea, eb, s, outSchema); err != nil {
-		return Result{}, err
+		return sim.Table{}, 0, err
 	}
-	return Result{
-		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
-		OutputLen: s,
-		Stats:     t.Stats(),
-	}, nil
+	return sim.Table{Region: out, N: s, Schema: outSchema}, s, nil
 }
 
 // Join7Transfers is the exact transfer count of this implementation:

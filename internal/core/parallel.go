@@ -548,26 +548,9 @@ func ParallelJoin7(cops []*sim.Coprocessor, a, b sim.Table, pred *relation.Equi)
 	}
 
 	// Largest power-of-two device prefix, as in ParallelJoin3.
-	ps := 1
-	for ps*2 <= len(cops) {
-		ps *= 2
-	}
+	ps := pow2Prefix(len(cops))
 	sortAll := func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
 		return oblivious.ParallelSort(cops[:ps], region, n, less)
-	}
-	// Each side expands on its own half of the prefix (the halves of a
-	// power of two are powers of two); with one usable device both sides
-	// still run concurrently, each on a single-device sorter.
-	sideA, sideB := cops[:1], cops[:1]
-	if ps >= 2 {
-		sideA, sideB = cops[:ps/2], cops[ps/2:ps]
-	} else if len(cops) >= 2 {
-		sideB = cops[1:2]
-	}
-	sideSort := func(group []*sim.Coprocessor) a7SortFunc {
-		return func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
-			return oblivious.ParallelSort(group, region, n, less)
-		}
 	}
 
 	codecA := newA7Codec(pred, a.Schema, b.Schema)
@@ -587,14 +570,54 @@ func ParallelJoin7(cops []*sim.Coprocessor, a, b sim.Table, pred *relation.Equi)
 	if err := sortAll(w, n, codecA.lessKeyTag); err != nil {
 		return Result{}, err
 	}
-	s, err := codecA.indexScans(cops[0], w, n)
+	out, s, err := parallelJoin7Tail(cops, ps, codecA, codecB, w, n, outSchema)
 	if err != nil {
 		return Result{}, err
 	}
+	return Result{Output: out, OutputLen: s, Stats: sumStats()}, nil
+}
 
+// pow2Prefix returns the largest power of two <= n (n >= 1).
+func pow2Prefix(n int) int {
+	ps := 1
+	for ps*2 <= n {
+		ps *= 2
+	}
+	return ps
+}
+
+// parallelJoin7Tail runs phases 3–5 of the parallel Algorithm 7 over a
+// key-sorted union held in the first n cells of w: index scans and stitch
+// on device 0, the two side expansions concurrently on the two halves of
+// the ps-device prefix, the B alignment sort on the whole prefix. Shared
+// by ParallelJoin7 and ParallelJoin7Cached.
+func parallelJoin7Tail(cops []*sim.Coprocessor, ps int, codecA, codecB *a7Codec, w sim.RegionID, n int64, outSchema *relation.Schema) (sim.Table, int64, error) {
+	host := cops[0].Host()
+	sortAll := func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
+		return oblivious.ParallelSort(cops[:ps], region, n, less)
+	}
+	// Each side expands on its own half of the prefix (the halves of a
+	// power of two are powers of two); with one usable device both sides
+	// still run concurrently, each on a single-device sorter.
+	sideA, sideB := cops[:1], cops[:1]
+	if ps >= 2 {
+		sideA, sideB = cops[:ps/2], cops[ps/2:ps]
+	} else if len(cops) >= 2 {
+		sideB = cops[1:2]
+	}
+	sideSort := func(group []*sim.Coprocessor) a7SortFunc {
+		return func(region sim.RegionID, n int64, less oblivious.LessFunc) error {
+			return oblivious.ParallelSort(group, region, n, less)
+		}
+	}
+
+	s, err := codecA.indexScans(cops[0], w, n)
+	if err != nil {
+		return sim.Table{}, 0, err
+	}
 	out := host.FreshRegion("palg7.out", int(s))
 	if s == 0 {
-		return Result{Output: sim.Table{Region: out, N: 0, Schema: outSchema}, Stats: sumStats()}, nil
+		return sim.Table{Region: out, N: 0, Schema: outSchema}, 0, nil
 	}
 
 	var (
@@ -614,22 +637,18 @@ func ParallelJoin7(cops []*sim.Coprocessor, a, b sim.Table, pred *relation.Equi)
 	}()
 	wg.Wait()
 	if errA != nil {
-		return Result{}, errA
+		return sim.Table{}, 0, errA
 	}
 	if errB != nil {
-		return Result{}, errB
+		return sim.Table{}, 0, errB
 	}
 	if err := sortAll(eb, s, codecA.lessDest); err != nil {
-		return Result{}, err
+		return sim.Table{}, 0, err
 	}
 	if err := codecA.stitch(cops[0], out, ea, eb, s, outSchema); err != nil {
-		return Result{}, err
+		return sim.Table{}, 0, err
 	}
-	return Result{
-		Output:    sim.Table{Region: out, N: s, Schema: outSchema},
-		OutputLen: s,
-		Stats:     sumStats(),
-	}, nil
+	return sim.Table{Region: out, N: s, Schema: outSchema}, s, nil
 }
 
 func min64(a, b int64) int64 {

@@ -340,7 +340,7 @@ func jobOn(rt *Router, id string) (*server.Job, *server.Server, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j, err := sh.Registry().Lookup(id)
+	j, err := sh.Registry().Lookup(id, "")
 	if err != nil {
 		return nil, nil, err
 	}

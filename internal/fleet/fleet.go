@@ -8,6 +8,7 @@ import (
 	"net"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -61,10 +62,22 @@ func New(cfg Config) (*Router, error) {
 		n = 1
 	}
 	r := &Router{cfg: cfg, ring: NewRing(n, cfg.Replicas), dir: make(map[string]int)}
+	// One quota enforcer is shared by every shard, so a tenant's in-flight
+	// cap and submission rate hold fleet-wide no matter which shards its
+	// contracts land on (spillover included).
+	quotas := cfg.Quotas
+	if quotas == nil {
+		quotas = server.NewQuotas(server.QuotaConfig{
+			MaxInFlight: cfg.TenantMaxInFlight,
+			Rate:        cfg.TenantRate,
+			Burst:       cfg.TenantBurst,
+		}, cfg.QuotaNow)
+	}
 	for i := 0; i < n; i++ {
 		scfg := cfg.Config
 		scfg.Shards = 0 // each server is exactly one shard
 		scfg.AdmissionControl = true
+		scfg.Quotas = quotas
 		if cfg.DataDir != "" {
 			scfg.DataDir = filepath.Join(cfg.DataDir, "shard-"+strconv.Itoa(i))
 		}
@@ -79,8 +92,7 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("fleet: booting shard %d: %w", i, err)
 		}
 		r.shards = append(r.shards, sh)
-		for _, j := range sh.Registry().Jobs() {
-			id := j.Contract().ID
+		for _, id := range sh.Registry().ContractIDs() {
 			if prev, dup := r.dir[id]; dup {
 				r.closeShards()
 				return nil, fmt.Errorf("fleet: contract %q recovered on shards %d and %d", id, prev, i)
@@ -162,6 +174,22 @@ func (r *Router) Register(c *service.Contract) (*server.Job, error) {
 	return j, nil
 }
 
+// Resubmit re-executes a registered contract on the shard that admitted it.
+// There is no spillover: the contract's execution history, WAL, and cached
+// sorted forms live on that shard, so a re-execution elsewhere would both
+// split the history and forfeit the cache. Backpressure and tenant quotas
+// surface as the shard's own typed refusals.
+func (r *Router) Resubmit(contractID string) (*server.Job, error) {
+	if r.shuttingDown.Load() {
+		return nil, server.ErrShuttingDown
+	}
+	_, sh, err := r.ShardFor(contractID)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Resubmit(contractID)
+}
+
 // leastLoaded picks the spill target: the shard (other than skip) with
 // queue headroom and the smallest load, ties broken by index so the choice
 // is deterministic. ok is false when the whole fleet is saturated.
@@ -192,7 +220,17 @@ func (r *Router) HandleConn(conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
-	sh, err := r.route(hello.ContractID)
+	id := hello.ContractID
+	if id == "" && hello.JobID != "" {
+		// A job-addressed hello with no contract still routes: job IDs are
+		// "<contract>#<seq>" (or the contract ID itself), so the owning
+		// contract is derivable.
+		id = hello.JobID
+		if i := strings.Index(id, "#"); i >= 0 {
+			id = id[:i]
+		}
+	}
+	sh, err := r.route(id)
 	if err != nil {
 		return err
 	}

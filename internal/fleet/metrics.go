@@ -63,6 +63,10 @@ func aggregate(shards []server.Snapshot) server.Snapshot {
 		out.ResultStoreBytes += s.ResultStoreBytes
 		out.ResultStoreEvictions += s.ResultStoreEvictions
 		out.ResultStoreRecoveryEvictions += s.ResultStoreRecoveryEvictions
+		out.SortCacheBytes += s.SortCacheBytes
+		out.SortCacheEvictions += s.SortCacheEvictions
+		out.SortCacheHits += s.SortCacheHits
+		out.SortCacheMisses += s.SortCacheMisses
 	}
 	return out
 }

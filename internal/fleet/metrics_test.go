@@ -120,7 +120,11 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       },
       "result_store_bytes": 0,
       "result_store_evictions": 0,
-      "result_store_recovery_evictions": 0
+      "result_store_recovery_evictions": 0,
+      "sort_cache_bytes": 0,
+      "sort_cache_evictions": 0,
+      "sort_cache_hits": 0,
+      "sort_cache_misses": 0
     },
     {
       "shard": 1,
@@ -151,7 +155,11 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       },
       "result_store_bytes": 0,
       "result_store_evictions": 0,
-      "result_store_recovery_evictions": 0
+      "result_store_recovery_evictions": 0,
+      "sort_cache_bytes": 0,
+      "sort_cache_evictions": 0,
+      "sort_cache_hits": 0,
+      "sort_cache_misses": 0
     }
   ],
   "fleet": {
@@ -182,7 +190,11 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
     },
     "result_store_bytes": 0,
     "result_store_evictions": 0,
-    "result_store_recovery_evictions": 0
+    "result_store_recovery_evictions": 0,
+    "sort_cache_bytes": 0,
+    "sort_cache_evictions": 0,
+    "sort_cache_hits": 0,
+    "sort_cache_misses": 0
   },
   "spills": 0
 }`

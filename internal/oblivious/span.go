@@ -1,0 +1,161 @@
+package oblivious
+
+import (
+	"fmt"
+
+	"ppj/internal/sim"
+)
+
+// This file generalises the sorting entry points to sub-spans of a region
+// and exposes the odd-even merge of two pre-sorted halves. Together they
+// let a caller build one fully sorted array out of independently sorted
+// (and possibly cached) halves: sort each half in place with SortSpan /
+// ParallelSortSpan, then combine with MergeHalves / ParallelMergeHalves.
+// Every schedule remains a pure function of the public sizes — the span
+// offset, the pad writes, and the merge network never depend on contents.
+
+// PadRange writes padding cells (maximal elements, as used by Sort) into
+// [from, to) of a region. Exported so callers composing spans can pad the
+// gap between a span's power-of-two envelope and a larger fixed layout
+// with the exact cells the sorts treat as maximal.
+func PadRange(t *sim.Coprocessor, region sim.RegionID, from, to int64) error {
+	return padRange(t, region, from, to)
+}
+
+// SortSpan obliviously sorts cells [lo, lo+n) of a host region ascending.
+// Like Sort it pads [lo+n, lo+m) with maximal cells, m = NextPow2(n), so
+// the region must extend at least to lo+m. Transfers: SortTransfers(n).
+func SortSpan(t *sim.Coprocessor, region sim.RegionID, lo, n int64, less LessFunc) error {
+	if n < 0 {
+		return fmt.Errorf("oblivious: negative element count %d", n)
+	}
+	if lo < 0 {
+		return fmt.Errorf("oblivious: negative span offset %d", lo)
+	}
+	if n <= 1 {
+		return nil
+	}
+	m := NextPow2(n)
+	if err := padRange(t, region, lo+n, lo+m); err != nil {
+		return err
+	}
+	return sortSpanPow2(t, new(xchg), region, lo, m, padLast(less))
+}
+
+// MergeHalves merges the two independently sorted halves of cells [0, m)
+// (m a power of two, each half ascending with any padding cells already
+// maximal at its top) into one ascending run using Batcher's odd-even
+// merge. Transfers: MergeHalvesTransfers(m).
+func MergeHalves(t *sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) error {
+	if m <= 1 {
+		return nil
+	}
+	if m&(m-1) != 0 {
+		return fmt.Errorf("oblivious: merge size %d must be a power of two", m)
+	}
+	return oddEvenMerge(t, new(xchg), region, 0, m, 1, padLast(less))
+}
+
+// MergeHalvesTransfers returns the exact transfer count of MergeHalves
+// (and ParallelMergeHalves summed over the group) for m cells.
+func MergeHalvesTransfers(m int64) int64 {
+	if m <= 1 {
+		return 0
+	}
+	return 4 * oddEvenMergeComparators(m, 1)
+}
+
+// ParallelSortSpan is SortSpan over a power-of-two device group: local
+// bitonic sorts of m/P blocks followed by the binary odd-even merge tree,
+// exactly ParallelSort shifted by lo. The summed transfer count equals
+// ParallelSort's for the same (n, P).
+func ParallelSortSpan(cops []*sim.Coprocessor, region sim.RegionID, lo, n int64, less LessFunc) error {
+	p := int64(len(cops))
+	if p == 0 {
+		return fmt.Errorf("oblivious: no coprocessors")
+	}
+	if p&(p-1) != 0 {
+		return fmt.Errorf("oblivious: coprocessor count %d must be a power of two", p)
+	}
+	if lo < 0 {
+		return fmt.Errorf("oblivious: negative span offset %d", lo)
+	}
+	if n <= 1 {
+		return nil
+	}
+	m := NextPow2(n)
+	if err := padRange(cops[0], region, lo+n, lo+m); err != nil {
+		return err
+	}
+	if p > m {
+		p = m
+	}
+	block := m / p
+	wrapped := padLast(less)
+
+	xs := make([]xchg, len(cops))
+	if err := inParallel(p, func(w int64) error {
+		return sortSpanPow2(cops[w], &xs[w], region, lo+w*block, block, wrapped)
+	}); err != nil {
+		return err
+	}
+
+	xsp := make([]*xchg, len(cops))
+	for i := range xs {
+		xsp[i] = &xs[i]
+	}
+	for width := block; width < m; width <<= 1 {
+		merges := m / (2 * width)
+		devs := p / merges
+		if err := inParallel(merges, func(w int64) error {
+			g := w * devs
+			return parallelOddEvenMerge(cops[g:g+devs], xsp[g:g+devs], region,
+				lo+w*2*width, 2*width, 1, wrapped)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelMergeHalves is MergeHalves over a power-of-two device group: the
+// two stride sub-recursions of each level run on disjoint halves of the
+// group. The summed transfer count equals MergeHalvesTransfers(m).
+func ParallelMergeHalves(cops []*sim.Coprocessor, region sim.RegionID, m int64, less LessFunc) error {
+	p := int64(len(cops))
+	if p == 0 {
+		return fmt.Errorf("oblivious: no coprocessors")
+	}
+	if p&(p-1) != 0 {
+		return fmt.Errorf("oblivious: coprocessor count %d must be a power of two", p)
+	}
+	if m <= 1 {
+		return nil
+	}
+	if m&(m-1) != 0 {
+		return fmt.Errorf("oblivious: merge size %d must be a power of two", m)
+	}
+	if p > m {
+		p = m
+	}
+	xs := make([]xchg, p)
+	xsp := make([]*xchg, p)
+	for i := range xs {
+		xsp[i] = &xs[i]
+	}
+	return parallelOddEvenMerge(cops[:p], xsp, region, 0, m, 1, padLast(less))
+}
+
+// padLast wraps a comparator so padding cells sort after every real cell.
+func padLast(less LessFunc) LessFunc {
+	return func(a, b []byte) bool {
+		switch {
+		case isPad(a):
+			return false
+		case isPad(b):
+			return true
+		default:
+			return less(a, b)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+// sortedCache adapts the server's durable sort-cache store to the
+// core.SortedCache interface Join7Cached consumes. A cache entry's rows are
+// the obliviously sorted, sealed cells of one upload half; its key is the
+// public tuple (contract, side, row count, upload digest) the service
+// computes inside the seal boundary. Every failure mode — missing entry,
+// evicted entry, torn segment — degrades to a miss: the join re-sorts cold
+// and correctness never depends on the cache.
+type sortedCache struct{ srv *Server }
+
+// Lookup implements core.SortedCache.
+func (c *sortedCache) Lookup(key string) ([][]byte, bool) {
+	_, rows, err := c.srv.sortcache.Get(key)
+	if err != nil {
+		c.srv.metrics.sortCacheMiss()
+		return nil, false
+	}
+	c.srv.metrics.sortCacheHit()
+	return rows, true
+}
+
+// Store implements core.SortedCache. A duplicate key means a concurrent
+// execution of the same contract over the same upload already stored the
+// identical cells (the sort is deterministic), so the put is dropped; a
+// tombstoned key (a past eviction) is cleared and retried once, since the
+// caller is handing us a fresh, intact sorted form. Any other refusal —
+// over-cap, journal failure — is logged and ignored: the entry is a reuse
+// hint, not state the job depends on.
+func (c *sortedCache) Store(key string, cells [][]byte) {
+	err := c.srv.sortcache.Put(key, nil, cells)
+	if err == nil {
+		return
+	}
+	if c.srv.sortcache.Has(key) {
+		return
+	}
+	c.srv.sortcache.Remove(key)
+	if err := c.srv.sortcache.Put(key, nil, cells); err != nil {
+		c.srv.logf("server: sort cache: storing %s: %v", key, err)
+	}
+}
+
+// cacheJournal routes the sort-cache store's manifest events into the
+// server's job Store, exactly as walJournal does for results: one log
+// carries the job lifecycle, the result manifest, and the cache manifest,
+// so one replay rebuilds all three.
+type cacheJournal struct{ s *Server }
+
+// ResultStored implements resultstore.Journal for the sort cache.
+func (w cacheJournal) ResultStored(key string, size int64) error {
+	if err := w.s.store.LogCacheStored(key, size); err != nil {
+		w.s.metrics.walAppendFailed()
+		w.s.logf("server: wal: cache stored %s: %v", key, err)
+		return err
+	}
+	return nil
+}
+
+// ResultEvicted implements resultstore.Journal for the sort cache.
+func (w cacheJournal) ResultEvicted(key, cause string) error {
+	if err := w.s.store.LogCacheEvicted(key, cause); err != nil {
+		w.s.metrics.walAppendFailed()
+		w.s.logf("server: wal: cache evicted %s (%s): %v", key, cause, err)
+		return err
+	}
+	return nil
+}

@@ -106,6 +106,16 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// id is this execution's identity: equal to the contract ID for a
+	// contract's first job (so WAL logs and clients from before re-execution
+	// replay and route unchanged), "<contract>#<seq>" for resubmissions.
+	id  string
+	seq int
+	// tenant is the contract's quota account; quotaHeld marks an in-flight
+	// slot this job must release when it settles.
+	tenant    string
+	quotaHeld bool
+
 	providers      int
 	wantRecipients int
 
@@ -138,6 +148,14 @@ type Job struct {
 
 // Contract returns the contract this job executes.
 func (j *Job) Contract() *service.Contract { return j.svc.Contract }
+
+// ID returns the job's per-execution identity: the contract ID for a
+// contract's first execution, "<contract>#<seq>" for resubmissions.
+func (j *Job) ID() string { return j.id }
+
+// Seq returns the job's 1-based position in its contract's execution
+// history.
+func (j *Job) Seq() int { return j.seq }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() State {
@@ -176,12 +194,12 @@ func (j *Job) setStateLocked(to State) {
 	if to == StateFailed && j.err != nil {
 		cause = j.err.Error()
 	}
-	if err := j.srv.store.LogTransition(j.svc.Contract.ID, from, to, cause); err != nil {
+	if err := j.srv.store.LogTransition(j.id, from, to, cause); err != nil {
 		// The in-memory lifecycle keeps going, but every transition lost
 		// here widens the gap a crash would expose — count it so operators
 		// see the durability alarm, not just per-transition log lines.
 		j.srv.metrics.walAppendFailed()
-		j.srv.logf("server: wal: contract %s %s->%s: %v", j.svc.Contract.ID, from, to, err)
+		j.srv.logf("server: wal: job %s %s->%s: %v", j.id, from, to, err)
 	}
 }
 
@@ -243,8 +261,17 @@ func (j *Job) noteRecipient(name string) {
 	}
 }
 
-// settle wakes every recipient waiting on the outcome. Idempotent.
-func (j *Job) settle() { j.settleOnce.Do(func() { close(j.settled) }) }
+// settle wakes every recipient waiting on the outcome and returns the
+// job's tenant quota slot — the outcome is decided, so the job no longer
+// counts against the in-flight cap. Idempotent.
+func (j *Job) settle() {
+	j.settleOnce.Do(func() {
+		if j.quotaHeld {
+			j.srv.quotas.Release(j.tenant)
+		}
+		close(j.settled)
+	})
+}
 
 // closeDone performs the done close. Idempotent, because a job can reach
 // Delivered through concurrent recipient completions and recovery paths.
@@ -269,7 +296,7 @@ func (j *Job) outcomeForDelivery() (service.Outcome, error) {
 	if out != nil {
 		return *out, nil
 	}
-	return j.srv.loadResult(j.svc.Contract.ID)
+	return j.srv.loadResult(j.id)
 }
 
 // recipientServed counts a completed fetch; once every contracted
@@ -338,7 +365,7 @@ func (j *Job) finish(out service.Outcome) {
 		return
 	}
 	j.mu.Unlock()
-	j.srv.storeResult(j.svc.Contract.ID, &out)
+	j.srv.storeResult(j.id, &out)
 	j.mu.Lock()
 	if j.state.Terminal() {
 		// Failed while persisting (deadline, shutdown): the verdict stands;

@@ -22,6 +22,12 @@ type Metrics struct {
 	walFailures atomic.Uint64
 	cop         sim.AtomicStats
 
+	// Sorted-relation cache outcomes: one count per side per execution that
+	// consulted the cache (hit = the pre-sorted form was reused; miss = the
+	// side sorted cold and, when possible, populated the cache).
+	sortCacheHits   atomic.Uint64
+	sortCacheMisses atomic.Uint64
+
 	// Per-job device usage: how many executions ran with >1 coprocessor,
 	// the total devices attached across executions, and the widest fleet.
 	parallelRuns    atomic.Uint64
@@ -75,6 +81,13 @@ func (m *Metrics) queueAdd(delta int64) { m.queueDepth.Add(delta) }
 // in-memory lifecycle continues, so a non-zero count means the job table
 // has drifted from what a crash would recover — a health alarm, not noise.
 func (m *Metrics) walAppendFailed() { m.walFailures.Add(1) }
+
+// sortCacheHit counts one join side served from the sorted-relation cache.
+func (m *Metrics) sortCacheHit() { m.sortCacheHits.Add(1) }
+
+// sortCacheMiss counts one join side that consulted the cache and sorted
+// cold.
+func (m *Metrics) sortCacheMiss() { m.sortCacheMisses.Add(1) }
 
 // recordRun records a worker-executed job: completion count and, for
 // successful runs, the execution latency summary.
@@ -166,6 +179,15 @@ type Snapshot struct {
 	// segments, manifest records with no surviving segment, and orphan
 	// segments the manifest never acknowledged.
 	ResultStoreRecoveryEvictions uint64 `json:"result_store_recovery_evictions"`
+	// SortCacheBytes is the sorted-relation cache's live accounted bytes.
+	SortCacheBytes int64 `json:"sort_cache_bytes"`
+	// SortCacheEvictions counts sort-cache entries dropped at runtime or
+	// reconciled away at recovery (torn or orphan cache segments).
+	SortCacheEvictions uint64 `json:"sort_cache_evictions"`
+	// SortCacheHits and SortCacheMisses count per-side cache outcomes
+	// across executions that consulted the sorted-relation cache.
+	SortCacheHits   uint64 `json:"sort_cache_hits"`
+	SortCacheMisses uint64 `json:"sort_cache_misses"`
 }
 
 // DeviceSnapshot summarises how many coprocessors jobs attached.

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ppj/internal/relation"
+)
+
+// tenantGroup is newGroup with the contract bound to a tenant account
+// (the Tenant field feeds the contract digest, so it is set before the
+// providers sign).
+func tenantGroup(t *testing.T, id, tenant string, seed uint64) *group {
+	t.Helper()
+	g := newGroup(t, id, "alg5", seed, seed+1, 6, 6)
+	g.contract.Tenant = tenant
+	g.contract.Sign(0, g.provA.priv)
+	g.contract.Sign(1, g.provB.priv)
+	return g
+}
+
+// TestQuotaRefusalLeavesNoTrace pins the admission contract: a submission
+// refused by the in-flight cap fails with the typed ErrQuotaExceeded
+// BEFORE any WAL append or metric mutation — the metrics snapshot is
+// unchanged and a restart on the same directory recovers only the
+// admitted work. Register and Resubmit share the gate; other tenants are
+// untouched; settling the held job frees the slot.
+func TestQuotaRefusalLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{Workers: 1, Memory: 16, DataDir: dir, TenantMaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	g1 := tenantGroup(t, "quota-a", "acme", 10)
+	j1, err := srv.Register(g1.contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := srv.MetricsSnapshot()
+	g2 := tenantGroup(t, "quota-b", "acme", 20)
+	if _, err := srv.Register(g2.contract); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second submission error = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := srv.Resubmit(g1.contract.ID); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("resubmission error = %v, want ErrQuotaExceeded", err)
+	}
+	after := srv.MetricsSnapshot()
+	if before.Submitted != after.Submitted || before.WALAppendFailures != after.WALAppendFailures {
+		t.Fatalf("refusal mutated metrics: %+v -> %+v", before, after)
+	}
+	for state, n := range before.Jobs {
+		if after.Jobs[state] != n {
+			t.Fatalf("refusal moved the %s gauge: %d -> %d", state, n, after.Jobs[state])
+		}
+	}
+
+	// Another tenant's submission is not collateral damage.
+	g3 := tenantGroup(t, "quota-c", "initech", 30)
+	if _, err := srv.Register(g3.contract); err != nil {
+		t.Fatal(err)
+	}
+
+	// Settling the held job frees the slot: the refused contract admits.
+	j1.Cancel()
+	waitDone(t, j1)
+	if _, err := srv.Register(g2.contract); err != nil {
+		t.Fatalf("registration after the slot freed: %v", err)
+	}
+
+	// The refusals left no WAL record: recovery sees exactly the three
+	// admitted contracts, one execution each.
+	srv2, err := New(Config{Workers: 1, Memory: 16, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.Registry().Len(); got != 3 {
+		t.Fatalf("recovered %d contracts, want the 3 admitted ones", got)
+	}
+	for _, id := range []string{"quota-a", "quota-b", "quota-c"} {
+		if n := len(srv2.Registry().Executions(id)); n != 1 {
+			t.Fatalf("contract %s recovered %d executions, want 1 (refused resubmission must leave no record)", id, n)
+		}
+	}
+}
+
+// TestQuotaTokenBucketRefill is the token-bucket property test under a
+// fake clock: across a long pseudo-random schedule of clock advances, the
+// enforcer's admit/refuse decisions match an independently tracked
+// reference bucket exactly, and a conforming tenant is always eventually
+// admitted after 1/Rate seconds.
+func TestQuotaTokenBucketRefill(t *testing.T) {
+	const rate, burst = 2.0, 3.0
+	now := time.Unix(1_000_000, 0)
+	q := NewQuotas(QuotaConfig{Rate: rate, Burst: burst}, func() time.Time { return now })
+
+	// Reference bucket, mirroring the documented semantics: refill
+	// rate·dt capped at burst, admit iff a full token is present.
+	tokens, last := burst, now
+	rng := relation.NewRand(99)
+	admitted, refused := 0, 0
+	for i := 0; i < 2000; i++ {
+		now = now.Add(time.Duration(rng.Int64N(1500)) * time.Millisecond)
+		if dt := now.Sub(last).Seconds(); dt > 0 {
+			tokens += dt * rate
+			if tokens > burst {
+				tokens = burst
+			}
+		}
+		last = now
+		err := q.Acquire("t")
+		if tokens >= 1 {
+			if err != nil {
+				t.Fatalf("step %d: refused with %.3f tokens banked: %v", i, tokens, err)
+			}
+			tokens--
+			admitted++
+			q.Release("t")
+		} else {
+			if !errors.Is(err, ErrQuotaExceeded) {
+				t.Fatalf("step %d: admitted with %.3f tokens banked (err=%v)", i, tokens, err)
+			}
+			refused++
+		}
+	}
+	if admitted == 0 || refused == 0 {
+		t.Fatalf("degenerate schedule: %d admitted, %d refused", admitted, refused)
+	}
+
+	// Liveness: drain the bucket dry, then one refill interval admits.
+	for q.Acquire("t") == nil {
+		q.Release("t")
+	}
+	now = now.Add(time.Duration(float64(time.Second) / rate))
+	if err := q.Acquire("t"); err != nil {
+		t.Fatalf("conforming tenant refused after a full refill interval: %v", err)
+	}
+}
+
+// TestQuotaBurstFloorAndIsolation pins two edges: Burst < 1 still admits
+// (capacity floors at one token, so rate limiting can never deadlock a
+// tenant), and one tenant exhausting its bucket leaves other tenants'
+// buckets untouched.
+func TestQuotaBurstFloorAndIsolation(t *testing.T) {
+	now := time.Unix(5_000, 0)
+	q := NewQuotas(QuotaConfig{Rate: 1, Burst: 0}, func() time.Time { return now })
+	if err := q.Acquire("t"); err != nil {
+		t.Fatalf("first acquire against the floored burst: %v", err)
+	}
+	if err := q.Acquire("t"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second immediate acquire = %v, want ErrQuotaExceeded", err)
+	}
+	if err := q.Acquire("other"); err != nil {
+		t.Fatalf("tenant isolation: %v", err)
+	}
+	now = now.Add(time.Second)
+	if err := q.Acquire("t"); err != nil {
+		t.Fatalf("acquire after refill: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"ppj/internal/server/resultstore"
 	"ppj/internal/server/wal"
@@ -25,91 +26,158 @@ type RecoveredError struct{ Cause string }
 // Error implements error.
 func (e *RecoveredError) Error() string { return e.Cause }
 
-// recoveredJob is one job's last durable state, folded from WAL records.
-type recoveredJob struct {
+// recoveredContract is one registered contract and its execution history,
+// folded from WAL records. jobs[0] is the original registration; later
+// entries are resubmissions, in log order.
+type recoveredContract struct {
 	contract *service.Contract
-	state    State
-	cause    string
-	// resultStored reports a result-stored manifest record for the
-	// contract; evictCause carries the last result-evicted record's cause.
-	// Together with the segments the result store's scan found on disk,
-	// they drive the recovery reconciliation in recoverResult.
+	jobs     []*recoveredJob
+}
+
+// recoveredJob is one execution's last durable state, folded from WAL
+// records.
+type recoveredJob struct {
+	id    string
+	seq   int
+	state State
+	cause string
+	// resultStored reports a result-stored manifest record for the job;
+	// evictCause carries the last result-evicted record's cause. Together
+	// with the segments the result store's scan found on disk, they drive
+	// the recovery reconciliation in recoverResult.
 	resultStored bool
 	evictCause   string
 }
 
-// foldRecords replays WAL records into per-contract final states,
-// preserving registration order. Transitions simply overwrite the state —
-// the log is the authority on ordering — and transitions for unregistered
-// contracts (possible only through manual log surgery) are dropped.
-func foldRecords(recs []wal.Record) ([]*recoveredJob, error) {
-	byID := make(map[string]*recoveredJob)
-	var order []*recoveredJob
+// recoveredCache is one sort-cache key's last durable manifest word.
+type recoveredCache struct {
+	stored     bool
+	evictCause string
+}
+
+// foldRecords replays WAL records into per-contract execution histories
+// (registration order, executions in submission order) plus the sort-cache
+// manifest. Transition and result-manifest records address executions by
+// job ID — which is the contract ID itself for first executions, so logs
+// written before re-execution existed fold identically. Transitions simply
+// overwrite the state — the log is the authority on ordering — and records
+// for unregistered contracts or unborn jobs (possible only through manual
+// log surgery) are dropped.
+func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recoveredCache, error) {
+	byContract := make(map[string]*recoveredContract)
+	byJob := make(map[string]*recoveredJob)
+	cache := make(map[string]*recoveredCache)
+	var order []*recoveredContract
 	for _, rec := range recs {
 		switch rec.Type {
 		case wal.TypeRegistered:
 			c, err := decodeContract(rec.Contract)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			if _, dup := byID[c.ID]; dup {
-				return nil, fmt.Errorf("server: wal registers contract %q twice", c.ID)
+			if _, dup := byContract[c.ID]; dup {
+				return nil, nil, fmt.Errorf("server: wal registers contract %q twice", c.ID)
 			}
-			rj := &recoveredJob{contract: c, state: StatePending}
-			byID[c.ID] = rj
-			order = append(order, rj)
+			rc := &recoveredContract{contract: c}
+			rj := &recoveredJob{id: c.ID, seq: 1, state: StatePending}
+			rc.jobs = append(rc.jobs, rj)
+			byContract[c.ID] = rc
+			byJob[rj.id] = rj
+			order = append(order, rc)
+		case wal.TypeResubmitted:
+			rc, ok := byContract[rec.ContractID]
+			if !ok {
+				continue
+			}
+			if _, dup := byJob[rec.JobID]; dup {
+				return nil, nil, fmt.Errorf("server: wal resubmits job %q twice", rec.JobID)
+			}
+			rj := &recoveredJob{id: rec.JobID, seq: len(rc.jobs) + 1, state: StatePending}
+			rc.jobs = append(rc.jobs, rj)
+			byJob[rj.id] = rj
 		case wal.TypeTransition:
-			rj, ok := byID[rec.ContractID]
+			rj, ok := byJob[rec.ContractID]
 			if !ok {
 				continue
 			}
 			if rec.To < 0 || rec.To >= numStates {
-				return nil, fmt.Errorf("server: wal transition to unknown state %d", rec.To)
+				return nil, nil, fmt.Errorf("server: wal transition to unknown state %d", rec.To)
 			}
 			rj.state = State(rec.To)
 			rj.cause = rec.Cause
 		case wal.TypeResultStored:
-			if rj, ok := byID[rec.ContractID]; ok {
+			if rj, ok := byJob[rec.ContractID]; ok {
 				rj.resultStored = true
 			}
 		case wal.TypeResultEvicted:
-			if rj, ok := byID[rec.ContractID]; ok {
+			if rj, ok := byJob[rec.ContractID]; ok {
 				rj.evictCause = rec.Cause
 			}
+		case wal.TypeCacheStored:
+			cache[rec.ContractID] = &recoveredCache{stored: true}
+		case wal.TypeCacheEvicted:
+			cr, ok := cache[rec.ContractID]
+			if !ok {
+				cr = &recoveredCache{}
+				cache[rec.ContractID] = cr
+			}
+			cr.evictCause = rec.Cause
 		}
 	}
-	return order, nil
+	return order, cache, nil
 }
 
-// recover rebuilds the registry and job table from replayed WAL records.
-// Jobs that were Pending resume live (no data had arrived; the parties
-// simply reconnect). Jobs that were Uploading or Running are failed with
-// ErrInterrupted — and that verdict is appended to the WAL, so a second
-// restart reaches the identical table. Jobs that were Stored resume
-// serving their result from the durable store; Delivered and Failed jobs
-// become tombstones that answer reconnecting recipients immediately. The
-// result store is then reconciled against the replayed manifest: stored
-// results with no surviving segment are tombstoned as torn, evictions the
-// manifest recorded are rematerialised, and orphan segments whose
-// manifest record never made the log are dropped.
+// recover rebuilds the registry, the job table, the tenant quota slots, and
+// the sort cache from replayed WAL records. Jobs that were Pending resume
+// live (no data had arrived; the parties simply reconnect). Jobs that were
+// Uploading or Running are failed with ErrInterrupted — and that verdict is
+// appended to the WAL, so a second restart reaches the identical table.
+// Jobs that were Stored resume serving their result from the durable
+// store; Delivered and Failed jobs become tombstones that answer
+// reconnecting recipients. Live jobs re-occupy their tenant's in-flight
+// quota slots (without consuming tokens — the original submission paid).
+// Both stores are then reconciled against the replayed manifest: stored
+// entries with no surviving segment are tombstoned as torn, evictions the
+// manifest recorded are rematerialised, and orphan segments whose manifest
+// record never made the log are dropped — for the sort cache that means a
+// torn cache-stored record costs exactly the cached sorted form; the job
+// itself stays runnable cold.
 func (s *Server) recover(recs []wal.Record) error {
-	folded, err := foldRecords(recs)
+	folded, cacheMan, err := foldRecords(recs)
 	if err != nil {
 		return err
 	}
-	manifested := make(map[string]bool, len(folded))
-	for _, rj := range folded {
-		if err := s.recoverJob(rj); err != nil {
-			return fmt.Errorf("server: recovering contract %q: %w", rj.contract.ID, err)
-		}
-		s.recoverResult(rj)
-		if rj.resultStored {
-			manifested[rj.contract.ID] = true
+	manifested := make(map[string]bool)
+	for _, rc := range folded {
+		for _, rj := range rc.jobs {
+			if err := s.recoverJob(rc.contract, rj); err != nil {
+				return fmt.Errorf("server: recovering job %q: %w", rj.id, err)
+			}
+			s.recoverResult(rj)
+			if rj.resultStored {
+				manifested[rj.id] = true
+			}
 		}
 	}
 	for _, id := range s.results.IDs() {
 		if !manifested[id] {
 			s.results.Remove(id)
+		}
+	}
+	live := make(map[string]bool)
+	for key, cr := range cacheMan {
+		switch {
+		case cr.evictCause != "":
+			s.sortcache.MarkEvicted(key, resultstore.Cause(cr.evictCause))
+		case cr.stored && !s.sortcache.Has(key):
+			s.sortcache.MarkLost(key)
+		case cr.stored:
+			live[key] = true
+		}
+	}
+	for _, key := range s.sortcache.IDs() {
+		if !live[key] {
+			s.sortcache.Remove(key)
 		}
 	}
 	return nil
@@ -118,7 +186,7 @@ func (s *Server) recover(recs []wal.Record) error {
 // recoverResult reconciles one job's durable result manifest against what
 // the result store's scan found on disk.
 func (s *Server) recoverResult(rj *recoveredJob) {
-	id := rj.contract.ID
+	id := rj.id
 	switch {
 	case rj.evictCause != "":
 		// The manifest's last word is an eviction: rematerialise the
@@ -142,16 +210,12 @@ func (s *Server) recoverResult(rj *recoveredJob) {
 	}
 }
 
-func (s *Server) recoverJob(rj *recoveredJob) error {
-	svc, err := service.NewServiceWithDevice(s.device, rj.contract, s.cfg.Memory, s.cfg.Seed)
+func (s *Server) recoverJob(c *service.Contract, rj *recoveredJob) error {
+	svc, err := s.newService(c)
 	if err != nil {
 		return err
 	}
-	svc.Devices = s.cfg.DevicesPerJob
-	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
-	svc.UploadWindow = s.cfg.UploadWindow
-	svc.AllowLegacyUpload = s.cfg.AllowLegacyUpload
-	providers, recipients := rj.contract.CountRoles()
+	providers, recipients := c.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 && !rj.state.Settled() {
 		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
@@ -159,6 +223,9 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 	j := &Job{
 		svc:            svc,
 		srv:            s,
+		id:             rj.id,
+		seq:            rj.seq,
+		tenant:         c.Tenant,
 		ctx:            ctx,
 		cancel:         cancel,
 		providers:      providers,
@@ -167,11 +234,23 @@ func (s *Server) recoverJob(rj *recoveredJob) error {
 		settled:        make(chan struct{}),
 		done:           make(chan struct{}),
 	}
-	if err := s.registry.add(j); err != nil {
+	if rj.seq == 1 {
+		err = s.registry.add(j)
+	} else {
+		err = s.registry.addExecution(j)
+	}
+	if err != nil {
 		cancel()
 		return err
 	}
 	s.metrics.jobRecovered(rj.state)
+	// A job recovering into a live state re-occupies its tenant's in-flight
+	// slot; settle (including the fail below) releases it. Settled states
+	// returned their slot before the crash.
+	if !rj.state.Settled() {
+		s.quotas.restore(j.tenant)
+		j.quotaHeld = true
+	}
 	switch {
 	case rj.state == StatePending:
 		go j.watch()
@@ -211,4 +290,15 @@ func recoveredCause(rj *recoveredJob) error {
 		return &RecoveredError{Cause: "failure cause not recorded"}
 	}
 	return &RecoveredError{Cause: rj.cause}
+}
+
+// contractOfJob derives the contract ID a job ID belongs to: job IDs are
+// "<contract>#<seq>" for resubmissions and the contract ID itself for first
+// executions. The fleet router uses it to route job-addressed hellos to the
+// shard that owns the contract.
+func contractOfJob(jobID string) string {
+	if i := strings.Index(jobID, "#"); i >= 0 {
+		return jobID[:i]
+	}
+	return jobID
 }

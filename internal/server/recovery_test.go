@@ -120,7 +120,11 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
   },
   "result_store_bytes": 292,
   "result_store_evictions": 0,
-  "result_store_recovery_evictions": 0
+  "result_store_recovery_evictions": 0,
+  "sort_cache_bytes": 0,
+  "sort_cache_evictions": 0,
+  "sort_cache_hits": 0,
+  "sort_cache_misses": 0
 }`
 	if string(js) != wantSnap {
 		t.Fatalf("recovered metrics snapshot:\n%s\nwant:\n%s", js, wantSnap)
@@ -149,7 +153,7 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
 	// server (clients pin the new device key; identities came from the
 	// recovered contract).
 	srv2.Start()
-	jC, err := srv2.Registry().Lookup("rec-c")
+	jC, err := srv2.Registry().Lookup("rec-c", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +228,7 @@ func TestCrashBetweenTransitions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			j2, err := srv2.Registry().Lookup(g.contract.ID)
+			j2, err := srv2.Registry().Lookup(g.contract.ID, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -273,7 +277,7 @@ func TestCrashBetweenTransitions(t *testing.T) {
 				t.Fatalf("second recovery diverged:\n%s\nfirst recovery:\n%s", got, table2)
 			}
 			if tc.wantErr != nil {
-				j3, _ := srv3.Registry().Lookup(g.contract.ID)
+				j3, _ := srv3.Registry().Lookup(g.contract.ID, "")
 				if !errors.Is(j3.Err(), tc.wantErr) {
 					t.Fatalf("second recovery err = %v, want the typed sentinel to survive replay", j3.Err())
 				}
@@ -325,7 +329,7 @@ func TestRecoveryAfterWriteFaults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			j2, err := srv2.Registry().Lookup(g.contract.ID)
+			j2, err := srv2.Registry().Lookup(g.contract.ID, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -359,7 +363,7 @@ func TestRegistrationNotDurableRejected(t *testing.T) {
 	if _, err := srv.Register(g.contract); !errors.Is(err, wal.ErrCrashed) {
 		t.Fatalf("registration error = %v, want wrapped wal.ErrCrashed", err)
 	}
-	if _, err := srv.Registry().Lookup(g.contract.ID); err == nil {
+	if _, err := srv.Registry().Lookup(g.contract.ID, ""); err == nil {
 		t.Fatal("unlogged registration left in registry")
 	}
 	if got := srv.MetricsSnapshot().Submitted; got != 0 {

@@ -175,7 +175,7 @@ func TestResumableDeliveryProperty(t *testing.T) {
 							t.Fatal(rerr)
 						}
 						srv2.Start()
-						j2, lerr := srv2.Registry().Lookup(g.contract.ID)
+						j2, lerr := srv2.Registry().Lookup(g.contract.ID, "")
 						if lerr != nil {
 							t.Fatal(lerr)
 						}
@@ -330,7 +330,7 @@ func TestResultEvictionCauses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j, err := srv.Registry().Lookup(g.contract.ID)
+		j, err := srv.Registry().Lookup(g.contract.ID, "")
 		if err != nil {
 			t.Fatal(err)
 		}

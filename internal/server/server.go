@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -100,6 +101,27 @@ type Config struct {
 	// long; late recipients are answered with the typed ttl eviction.
 	// Zero disables expiry.
 	ResultTTL time.Duration
+	// MaxCacheBytes caps the durable sorted-relation cache's accounted
+	// bytes. Cache entries are reuse hints, not results: eviction under the
+	// cap merely makes the next re-execution sort cold. Zero means
+	// unbounded.
+	MaxCacheBytes int64
+	// TenantMaxInFlight caps one tenant's unsettled jobs across Register
+	// and Resubmit; the cap is checked before any WAL append or metric
+	// mutation and refused with ErrQuotaExceeded. Zero means unlimited.
+	TenantMaxInFlight int
+	// TenantRate is the per-tenant token-bucket submission rate in
+	// submissions per second (TenantBurst is the bucket capacity, floored
+	// at 1). Zero disables rate limiting.
+	TenantRate  float64
+	TenantBurst float64
+	// Quotas overrides the quota enforcer built from the Tenant* fields.
+	// The fleet router injects one shared instance into every shard so
+	// tenant caps hold fleet-wide regardless of which shard a contract
+	// lands on.
+	Quotas *Quotas
+	// QuotaNow overrides the quota clock (tests only); nil uses time.Now.
+	QuotaNow func() time.Time
 	// AllowLegacyUpload re-enables the deprecated ProtoLegacy one-shot
 	// dataMsg upload. Off by default: legacy providers are refused with
 	// service.ErrLegacyUploadDisabled before any row is opened.
@@ -124,13 +146,16 @@ type Config struct {
 // Server owns the device, the contract registry, the worker pool, and the
 // metrics.
 type Server struct {
-	cfg      Config
-	device   *secop.Device
-	registry *Registry
-	metrics  *Metrics
-	store    Store
-	results  *resultstore.Store
-	queue    chan *Job
+	cfg       Config
+	device    *secop.Device
+	registry  *Registry
+	metrics   *Metrics
+	store     Store
+	results   *resultstore.Store
+	sortcache *resultstore.Store
+	cache     *sortedCache
+	quotas    *Quotas
+	queue     chan *Job
 
 	// regMu serialises admissions: the duplicate check, the WAL append,
 	// and publication in the registry form one critical section, so a job
@@ -204,6 +229,33 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.results = results
+	// The sorted-relation cache is a second result store instance under its
+	// own subdirectory: same segment format, same manifest-through-the-WAL
+	// journaling, but holding obliviously pre-sorted upload halves keyed by
+	// cache key instead of sealed results keyed by job.
+	cacheDir := ""
+	if cfg.DataDir != "" {
+		cacheDir = filepath.Join(cfg.DataDir, "sortcache")
+	}
+	sortcache, err := resultstore.Open(resultstore.Config{
+		Dir:      cacheDir,
+		MaxBytes: cfg.MaxCacheBytes,
+		Journal:  cacheJournal{s},
+	})
+	if err != nil {
+		s.store.Close()
+		return nil, err
+	}
+	s.sortcache = sortcache
+	s.cache = &sortedCache{srv: s}
+	s.quotas = cfg.Quotas
+	if s.quotas == nil {
+		s.quotas = NewQuotas(QuotaConfig{
+			MaxInFlight: cfg.TenantMaxInFlight,
+			Rate:        cfg.TenantRate,
+			Burst:       cfg.TenantBurst,
+		}, cfg.QuotaNow)
+	}
 	if replay {
 		if err := s.recover(recs); err != nil {
 			s.store.Close()
@@ -211,6 +263,23 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// newService builds one execution's service stack — the single place the
+// server's per-job service configuration (devices, upload bounds, the
+// sorted-relation cache) is applied, shared by Register, Resubmit, and
+// crash recovery so every execution of a contract runs the same stack.
+func (s *Server) newService(c *service.Contract) (*service.Service, error) {
+	svc, err := service.NewServiceWithDevice(s.device, c, s.cfg.Memory, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	svc.Devices = s.cfg.DevicesPerJob
+	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
+	svc.UploadWindow = s.cfg.UploadWindow
+	svc.AllowLegacyUpload = s.cfg.AllowLegacyUpload
+	svc.SortCache = s.cache
+	return svc, nil
 }
 
 // Device returns the server's attested device; clients pin its key.
@@ -227,6 +296,10 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	snap.ResultStoreBytes = s.results.Bytes()
 	snap.ResultStoreEvictions = s.results.Evictions()
 	snap.ResultStoreRecoveryEvictions = s.results.RecoveryEvictions()
+	snap.SortCacheBytes = s.sortcache.Bytes()
+	snap.SortCacheEvictions = s.sortcache.Evictions() + s.sortcache.RecoveryEvictions()
+	snap.SortCacheHits = s.metrics.sortCacheHits.Load()
+	snap.SortCacheMisses = s.metrics.sortCacheMisses.Load()
 	return snap
 }
 
@@ -264,14 +337,16 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	if err := c.CheckRoles(); err != nil {
 		return nil, err
 	}
-	svc, err := service.NewServiceWithDevice(s.device, c, s.cfg.Memory, s.cfg.Seed)
+	// '#' separates a contract ID from a re-execution sequence number in
+	// job IDs ("c#2", "c#3"); a contract named with one could collide with
+	// another contract's execution history, so it is refused at admission.
+	if strings.Contains(c.ID, "#") {
+		return nil, fmt.Errorf("server: contract ID %q: '#' is reserved for re-execution job IDs", c.ID)
+	}
+	svc, err := s.newService(c)
 	if err != nil {
 		return nil, err
 	}
-	svc.Devices = s.cfg.DevicesPerJob
-	svc.MaxUploadBytes = s.cfg.MaxUploadBytes
-	svc.UploadWindow = s.cfg.UploadWindow
-	svc.AllowLegacyUpload = s.cfg.AllowLegacyUpload
 	providers, recipients := c.CountRoles()
 	ctx, cancel := context.WithCancel(context.Background())
 	if s.cfg.JobTimeout > 0 {
@@ -280,6 +355,9 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	j := &Job{
 		svc:            svc,
 		srv:            s,
+		id:             c.ID,
+		seq:            1,
+		tenant:         c.Tenant,
 		ctx:            ctx,
 		cancel:         cancel,
 		providers:      providers,
@@ -294,18 +372,99 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	// otherwise a concurrent HandleConn could look the job up and start a
 	// handshake against an admission that is then unwound when the append
 	// fails, leaving a session running against a contract the tenant was
-	// told was refused.
+	// told was refused. The tenant quota gate sits between the duplicate
+	// check and the append: a quota refusal must leave no WAL record and no
+	// metric drift, and an append failure must return the slot and token it
+	// acquired.
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	if s.registry.has(c.ID) {
 		cancel()
 		return nil, fmt.Errorf("server: contract %q already registered", c.ID)
 	}
+	if err := s.quotas.Acquire(c.Tenant); err != nil {
+		cancel()
+		return nil, err
+	}
+	j.quotaHeld = true
 	if err := s.store.LogRegistered(c); err != nil {
+		s.quotas.Release(c.Tenant)
 		cancel()
 		return nil, fmt.Errorf("server: logging registration of %q: %w", c.ID, err)
 	}
 	if err := s.registry.add(j); err != nil {
+		s.quotas.Release(c.Tenant)
+		cancel()
+		return nil, err
+	}
+	s.metrics.jobSubmitted()
+	go j.watch()
+	return j, nil
+}
+
+// Resubmit re-executes a registered contract as a fresh job. The contract
+// — parties, predicate, algorithm, signatures — is exactly the one
+// Register verified; only the execution is new: a fresh job ID
+// ("<contract>#<seq>"), a fresh service stack awaiting fresh uploads, a
+// fresh deadline. Tenancy quotas gate it exactly like Register, and the
+// resubmission is journaled (TypeResubmitted) before the job is published,
+// so a restarted server rebuilds the full execution history. Providers and
+// recipients address the new run with Hello.JobID — or implicitly, since
+// an empty JobID routes to the contract's latest execution.
+func (s *Server) Resubmit(contractID string) (*Job, error) {
+	s.mu.Lock()
+	down := s.shuttingDown
+	s.mu.Unlock()
+	if down {
+		return nil, ErrShuttingDown
+	}
+	if s.cfg.AdmissionControl && len(s.queue) >= cap(s.queue) {
+		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, cap(s.queue))
+	}
+	c, err := s.registry.Contract(contractID)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := s.newService(c)
+	if err != nil {
+		return nil, err
+	}
+	providers, recipients := c.CountRoles()
+	ctx, cancel := context.WithCancel(context.Background())
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	}
+	j := &Job{
+		svc:            svc,
+		srv:            s,
+		tenant:         c.Tenant,
+		ctx:            ctx,
+		cancel:         cancel,
+		providers:      providers,
+		wantRecipients: recipients,
+		state:          StatePending,
+		settled:        make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	// The sequence number is assigned under regMu so two racing Resubmits
+	// cannot mint the same job ID, and — like Register — the quota gate
+	// precedes the WAL append, which precedes publication.
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	j.seq = len(s.registry.Executions(contractID)) + 1
+	j.id = fmt.Sprintf("%s#%d", contractID, j.seq)
+	if err := s.quotas.Acquire(c.Tenant); err != nil {
+		cancel()
+		return nil, err
+	}
+	j.quotaHeld = true
+	if err := s.store.LogResubmitted(contractID, j.id); err != nil {
+		s.quotas.Release(c.Tenant)
+		cancel()
+		return nil, fmt.Errorf("server: logging resubmission of %q: %w", contractID, err)
+	}
+	if err := s.registry.addExecution(j); err != nil {
+		s.quotas.Release(c.Tenant)
 		cancel()
 		return nil, err
 	}
@@ -333,7 +492,7 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 // hands the open session to that shard here. Semantics are exactly
 // HandleConn's from the hello onward.
 func (s *Server) HandleSession(sess *service.Session, hello service.Hello) error {
-	j, err := s.registry.Lookup(hello.ContractID)
+	j, err := s.registry.Lookup(hello.ContractID, hello.JobID)
 	if err != nil {
 		return err
 	}

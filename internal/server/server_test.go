@@ -531,14 +531,14 @@ func TestRegistryDuplicateAndDefault(t *testing.T) {
 	if _, err := srv.Register(g.contract); err == nil {
 		t.Fatal("duplicate contract registration accepted")
 	}
-	if j, err := srv.Registry().Lookup(""); err != nil || j.Contract().ID != "dup-1" {
+	if j, err := srv.Registry().Lookup("", ""); err != nil || j.Contract().ID != "dup-1" {
 		t.Fatalf("single-contract default lookup = %v, %v", j, err)
 	}
 	g2 := newGroup(t, "dup-2", "alg5", 63, 64, 4, 4)
 	if _, err := srv.Register(g2.contract); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Registry().Lookup(""); err == nil {
+	if _, err := srv.Registry().Lookup("", ""); err == nil {
 		t.Fatal("ambiguous empty-ID lookup accepted")
 	}
 }

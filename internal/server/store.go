@@ -30,6 +30,16 @@ type Store interface {
 	// LogResultEvicted records a stored result leaving the store, with its
 	// eviction cause ("ttl", "cap", "torn", "pre-store").
 	LogResultEvicted(contractID, cause string) error
+	// LogResubmitted records a re-execution of a registered contract under
+	// the freshly minted job ID. An error fails the resubmission, exactly
+	// as LogRegistered fails a registration.
+	LogResubmitted(contractID, jobID string) error
+	// LogCacheStored records a sorted-relation cache entry entering the
+	// durable sort cache under its cache key, with its accounted size.
+	LogCacheStored(key string, bytes int64) error
+	// LogCacheEvicted records a sort-cache entry leaving the cache with its
+	// eviction cause.
+	LogCacheEvicted(key, cause string) error
 	// Close releases the store.
 	Close() error
 }
@@ -50,6 +60,15 @@ func (NopStore) LogResultStored(string, int64) error { return nil }
 // LogResultEvicted implements Store.
 func (NopStore) LogResultEvicted(string, string) error { return nil }
 
+// LogResubmitted implements Store.
+func (NopStore) LogResubmitted(string, string) error { return nil }
+
+// LogCacheStored implements Store.
+func (NopStore) LogCacheStored(string, int64) error { return nil }
+
+// LogCacheEvicted implements Store.
+func (NopStore) LogCacheEvicted(string, string) error { return nil }
+
 // Close implements Store.
 func (NopStore) Close() error { return nil }
 
@@ -65,6 +84,20 @@ const SiteResultStored = "result:stored"
 // SiteResultEvicted is the faultpoint fired before a result-evicted
 // manifest record is appended.
 const SiteResultEvicted = "result:evicted"
+
+// SiteResubmit is the faultpoint fired before a resubmission record is
+// appended — tearing here freezes the log with the contract registered but
+// the re-execution unborn, the crash instant the re-execution recovery
+// suite pins.
+const SiteResubmit = "resubmit"
+
+// SiteCacheStored is the faultpoint fired before a cache-stored manifest
+// record is appended.
+const SiteCacheStored = "cache:stored"
+
+// SiteCacheEvicted is the faultpoint fired before a cache-evicted manifest
+// record is appended.
+const SiteCacheEvicted = "cache:evicted"
 
 // TransitionSite names the faultpoint fired before a from→to transition
 // record is appended, e.g. "state:uploading->running". A hook returning
@@ -148,6 +181,30 @@ func (s *WALStore) LogResultEvicted(id, cause string) error {
 		return err
 	}
 	return s.log.Append(wal.Record{Type: wal.TypeResultEvicted, ContractID: id, Cause: cause})
+}
+
+// LogResubmitted implements Store.
+func (s *WALStore) LogResubmitted(contractID, jobID string) error {
+	if err := s.fire(SiteResubmit); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeResubmitted, ContractID: contractID, JobID: jobID})
+}
+
+// LogCacheStored implements Store.
+func (s *WALStore) LogCacheStored(key string, bytes int64) error {
+	if err := s.fire(SiteCacheStored); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeCacheStored, ContractID: key, Bytes: bytes})
+}
+
+// LogCacheEvicted implements Store.
+func (s *WALStore) LogCacheEvicted(key, cause string) error {
+	if err := s.fire(SiteCacheEvicted); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{Type: wal.TypeCacheEvicted, ContractID: key, Cause: cause})
 }
 
 // Close implements Store, releasing the data-dir lock after the log.

@@ -62,5 +62,10 @@ func sampleRecordsFuzzSeed() []Record {
 		{Type: TypeRegistered, Contract: []byte("gob-bytes-of-a-contract")},
 		{Type: TypeTransition, ContractID: "tenant-1", From: 0, To: 1},
 		{Type: TypeTransition, ContractID: "tenant-1", From: 2, To: 4, Cause: "server: job interrupted by host crash"},
+		{Type: TypeResultStored, ContractID: "tenant-1", Bytes: 4096},
+		{Type: TypeResultEvicted, ContractID: "tenant-1", Cause: "ttl"},
+		{Type: TypeResubmitted, ContractID: "tenant-1", JobID: "tenant-1#2"},
+		{Type: TypeCacheStored, ContractID: "tenant-1|A|12|deadbeef", Bytes: 1024},
+		{Type: TypeCacheEvicted, ContractID: "tenant-1|A|12|deadbeef", Cause: "cap"},
 	}
 }

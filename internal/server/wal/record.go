@@ -42,6 +42,19 @@ const (
 	// byte-cap LRU eviction, or a torn segment found at recovery); Cause
 	// names which, so a reconnecting recipient learns why the result is gone.
 	TypeResultEvicted Type = 4
+	// TypeResubmitted records a re-execution of a registered contract: the
+	// body names the contract and the fresh job ID the server minted for
+	// the run, so replay rebuilds the contract's execution history in
+	// submission order.
+	TypeResubmitted Type = 5
+	// TypeCacheStored records a sorted-relation cache entry entering the
+	// durable sort cache; ContractID carries the cache key and Bytes the
+	// accounted segment size. Mirrors TypeResultStored for the second
+	// store.
+	TypeCacheStored Type = 6
+	// TypeCacheEvicted records a sorted-relation cache entry leaving the
+	// sort cache with its cause. Mirrors TypeResultEvicted.
+	TypeCacheEvicted Type = 7
 )
 
 // MaxPayload bounds a record payload. Contracts are a few KB; anything
@@ -60,8 +73,14 @@ type Record struct {
 	// is the caller's — the WAL stores opaque bytes so it depends on no
 	// higher layer.
 	Contract []byte
-	// ContractID names the job (TypeTransition only).
+	// ContractID names the job of a transition or stored/evicted result
+	// (for first executions the job ID equals the contract ID, so old logs
+	// replay unchanged), the contract of a resubmission, and the cache key
+	// of the cache-manifest records.
 	ContractID string
+	// JobID is the per-execution job ID a resubmission minted
+	// (TypeResubmitted only).
+	JobID string
 	// From, To are the lifecycle states of a transition, as the server's
 	// State values. They must fit a byte.
 	From, To int32
@@ -103,7 +122,7 @@ func (r Record) encodePayload() ([]byte, error) {
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.Cause)))
 		p = append(p, r.Cause...)
 		return p, nil
-	case TypeResultStored:
+	case TypeResultStored, TypeCacheStored:
 		if len(r.ContractID) > 0xffff {
 			return nil, fmt.Errorf("%w: oversized contract id", errEncode)
 		}
@@ -111,21 +130,35 @@ func (r Record) encodePayload() ([]byte, error) {
 			return nil, fmt.Errorf("%w: negative stored size", errEncode)
 		}
 		p := make([]byte, 0, 1+2+len(r.ContractID)+8)
-		p = append(p, byte(TypeResultStored))
+		p = append(p, byte(r.Type))
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
 		p = append(p, r.ContractID...)
 		p = binary.BigEndian.AppendUint64(p, uint64(r.Bytes))
 		return p, nil
-	case TypeResultEvicted:
+	case TypeResultEvicted, TypeCacheEvicted:
 		if len(r.ContractID) > 0xffff || len(r.Cause) > 0xffff {
 			return nil, fmt.Errorf("%w: oversized eviction fields", errEncode)
 		}
 		p := make([]byte, 0, 1+2+len(r.ContractID)+2+len(r.Cause))
-		p = append(p, byte(TypeResultEvicted))
+		p = append(p, byte(r.Type))
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
 		p = append(p, r.ContractID...)
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.Cause)))
 		p = append(p, r.Cause...)
+		return p, nil
+	case TypeResubmitted:
+		if len(r.ContractID) > 0xffff || len(r.JobID) > 0xffff {
+			return nil, fmt.Errorf("%w: oversized resubmission fields", errEncode)
+		}
+		if len(r.JobID) == 0 {
+			return nil, fmt.Errorf("%w: resubmission without job id", errEncode)
+		}
+		p := make([]byte, 0, 1+2+len(r.ContractID)+2+len(r.JobID))
+		p = append(p, byte(TypeResubmitted))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
+		p = append(p, r.ContractID...)
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.JobID)))
+		p = append(p, r.JobID...)
 		return p, nil
 	}
 	return nil, fmt.Errorf("%w: unknown type %d", errEncode, r.Type)
@@ -180,38 +213,55 @@ func decodePayload(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("%w: transition length mismatch", errDecode)
 		}
 		return Record{Type: TypeTransition, ContractID: id, From: from, To: to, Cause: string(body)}, nil
-	case TypeResultStored:
+	case TypeResultStored, TypeCacheStored:
 		body := p[1:]
 		if len(body) < 2 {
-			return Record{}, fmt.Errorf("%w: short result-stored record", errDecode)
+			return Record{}, fmt.Errorf("%w: short stored record", errDecode)
 		}
 		idLen := int(binary.BigEndian.Uint16(body[0:2]))
 		body = body[2:]
 		if len(body) != idLen+8 {
-			return Record{}, fmt.Errorf("%w: result-stored length mismatch", errDecode)
+			return Record{}, fmt.Errorf("%w: stored record length mismatch", errDecode)
 		}
 		size := binary.BigEndian.Uint64(body[idLen:])
 		if size > 1<<62 {
 			return Record{}, fmt.Errorf("%w: stored size out of range", errDecode)
 		}
-		return Record{Type: TypeResultStored, ContractID: string(body[:idLen]), Bytes: int64(size)}, nil
-	case TypeResultEvicted:
+		return Record{Type: Type(p[0]), ContractID: string(body[:idLen]), Bytes: int64(size)}, nil
+	case TypeResultEvicted, TypeCacheEvicted:
 		body := p[1:]
 		if len(body) < 2 {
-			return Record{}, fmt.Errorf("%w: short result-evicted record", errDecode)
+			return Record{}, fmt.Errorf("%w: short evicted record", errDecode)
 		}
 		idLen := int(binary.BigEndian.Uint16(body[0:2]))
 		body = body[2:]
 		if len(body) < idLen+2 {
-			return Record{}, fmt.Errorf("%w: short result-evicted record", errDecode)
+			return Record{}, fmt.Errorf("%w: short evicted record", errDecode)
 		}
 		id := string(body[:idLen])
 		causeLen := int(binary.BigEndian.Uint16(body[idLen : idLen+2]))
 		body = body[idLen+2:]
 		if len(body) != causeLen {
-			return Record{}, fmt.Errorf("%w: result-evicted length mismatch", errDecode)
+			return Record{}, fmt.Errorf("%w: evicted record length mismatch", errDecode)
 		}
-		return Record{Type: TypeResultEvicted, ContractID: id, Cause: string(body)}, nil
+		return Record{Type: Type(p[0]), ContractID: id, Cause: string(body)}, nil
+	case TypeResubmitted:
+		body := p[1:]
+		if len(body) < 2 {
+			return Record{}, fmt.Errorf("%w: short resubmission record", errDecode)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) < idLen+2 {
+			return Record{}, fmt.Errorf("%w: short resubmission record", errDecode)
+		}
+		id := string(body[:idLen])
+		jobLen := int(binary.BigEndian.Uint16(body[idLen : idLen+2]))
+		body = body[idLen+2:]
+		if len(body) != jobLen || jobLen == 0 {
+			return Record{}, fmt.Errorf("%w: resubmission length mismatch", errDecode)
+		}
+		return Record{Type: TypeResubmitted, ContractID: id, JobID: string(body)}, nil
 	}
 	return Record{}, fmt.Errorf("%w: unknown type %d", errDecode, p[0])
 }

@@ -65,6 +65,20 @@ func (c *Client) ConnectContract(conn io.ReadWriter, role Role, contractID strin
 // result (ResultFetch.Chunks) reconnects with it and the server streams
 // only the remainder.
 func (c *Client) ConnectContractResume(conn io.ReadWriter, role Role, contractID string, resume uint32) (*ClientSession, error) {
+	return c.ConnectJobResume(conn, role, contractID, "", resume)
+}
+
+// ConnectJob is ConnectContract addressed to one execution of a
+// resubmitted contract: the hello carries the job ID server.Resubmit
+// minted, so the session binds to that run instead of the contract's
+// latest. An empty jobID is the latest-execution default every other
+// connect path uses.
+func (c *Client) ConnectJob(conn io.ReadWriter, role Role, contractID, jobID string) (*ClientSession, error) {
+	return c.ConnectJobResume(conn, role, contractID, jobID, 0)
+}
+
+// ConnectJobResume is ConnectJob with a recipient resume offset.
+func (c *Client) ConnectJobResume(conn io.ReadWriter, role Role, contractID, jobID string, resume uint32) (*ClientSession, error) {
 	sess := newSession(conn)
 	proto := ProtoStreamedResult
 	if c.Proto != 0 {
@@ -77,7 +91,7 @@ func (c *Client) ConnectContractResume(conn io.ReadWriter, role Role, contractID
 	if _, err := rand.Read(challenge); err != nil {
 		return nil, err
 	}
-	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID, Proto: proto, ResumeChunks: resume}); err != nil {
+	if err := sess.enc.Encode(Hello{Party: c.Name, Role: role, Challenge: challenge, ContractID: contractID, JobID: jobID, Proto: proto, ResumeChunks: resume}); err != nil {
 		return nil, err
 	}
 	var auth serverAuthMsg

@@ -97,6 +97,11 @@ type Contract struct {
 	Epsilon float64
 	// Aggregate is required when Algorithm is "aggregate".
 	Aggregate AggregateSpec
+	// Tenant names the account the contract runs under, for per-tenant
+	// admission quotas (max in-flight jobs, submission rate). Empty — the
+	// value old encoders produce — selects the anonymous tenant and leaves
+	// SigningPayload unchanged, so existing signed contracts stay valid.
+	Tenant string
 	// Signatures[i] is party i's signature over SigningPayload (data owners
 	// must sign; the recipient's signature is optional).
 	Signatures [][]byte
@@ -120,6 +125,9 @@ func (c *Contract) SigningPayload() []byte {
 	io.WriteString(h, c.Aggregate.Kind)
 	fmt.Fprintf(h, "%d", c.Aggregate.Table)
 	io.WriteString(h, c.Aggregate.Attr)
+	// Appended last so contracts with no tenant hash exactly as they did
+	// before the field existed.
+	io.WriteString(h, c.Tenant)
 	return h.Sum(nil)
 }
 
@@ -179,6 +187,11 @@ type Hello struct {
 	// restart — fetches only what it is missing. Meaningful only for
 	// RoleRecipient hellos at ProtoStreamedResult.
 	ResumeChunks uint32
+	// JobID addresses one execution of the contract when the contract has
+	// been resubmitted (see server.Resubmit). Empty — what every pre-job
+	// client sends — routes to the contract's latest execution, so old
+	// clients keep working against re-executed contracts.
+	JobID string
 }
 
 // serverAuthMsg carries the device attestation and the service's ephemeral

@@ -6,6 +6,7 @@ import (
 	"crypto/ecdh"
 	"crypto/ed25519"
 	cryptorand "crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -86,6 +87,12 @@ type Service struct {
 	// dataMsg upload. Off (the default), a legacy session's upload is
 	// refused with ErrLegacyUploadDisabled before any ciphertext is read.
 	AllowLegacyUpload bool
+	// SortCache, when set, lets sort-based joins (alg7) reuse the
+	// obliviously-sorted form of an unchanged upload across executions of
+	// the same contract. Keys bind the contract, side, public size, and an
+	// upload content digest computed inside the seal boundary; see
+	// core.SortedCache. Nil (the default) disables reuse.
+	SortCache core.SortedCache
 
 	mu      sync.Mutex
 	uploads map[string]*upload
@@ -422,7 +429,12 @@ type Outcome struct {
 	Devices int
 	// Stats are T's cost counters for this execution, summed across devices.
 	Stats sim.Stats
-	Err   error
+	// CacheHits and CacheMisses count the sides of this join that consulted
+	// the sorted-relation cache and were restored (hit) or sorted cold and
+	// offered back (miss). Both zero when no cache participated.
+	CacheHits   int
+	CacheMisses int
+	Err         error
 }
 
 // RunContract executes the contracted computation over the received
@@ -433,8 +445,13 @@ func (s *Service) RunContract() Outcome {
 		agg, stats, err := s.runAggregate()
 		return Outcome{Agg: agg, Algorithm: "aggregate", Devices: 1, Stats: stats, Err: err}
 	}
-	rows, schema, padded, alg, devices, stats, err := s.runJoin()
-	return Outcome{Rows: rows, Schema: schema, Padded: padded, Algorithm: alg, Devices: devices, Stats: stats, Err: err}
+	rows, schema, padded, alg, devices, stats, use, err := s.runJoin()
+	return Outcome{
+		Rows: rows, Schema: schema, Padded: padded, Algorithm: alg,
+		Devices: devices, Stats: stats,
+		CacheHits: use.Hits(), CacheMisses: use.Misses(),
+		Err: err,
+	}
 }
 
 // Deliver seals an outcome under a recipient session and sends it, using
@@ -543,17 +560,17 @@ func algorithmNumber(alg string) int {
 // runJoin executes the contracted algorithm over the uploaded relations,
 // returning oTuple cells (flag byte + payload), the algorithm actually run,
 // the device count used, and T's cost counters summed across devices.
-func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, alg string, devices int, stats sim.Stats, err error) {
+func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool, alg string, devices int, stats sim.Stats, use core.CacheUse, err error) {
 	rels, names, err := s.gatherUploads()
 	if err != nil {
-		return nil, nil, false, "", 1, sim.Stats{}, err
+		return nil, nil, false, "", 1, sim.Stats{}, use, err
 	}
 
 	alg = s.Contract.Algorithm
 	if alg == "auto" {
 		plan, perr := s.planAlgorithm(rels)
 		if perr != nil {
-			return nil, nil, false, "", 1, sim.Stats{}, perr
+			return nil, nil, false, "", 1, sim.Stats{}, use, perr
 		}
 		alg = plan.AlgorithmName()
 	}
@@ -562,12 +579,12 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 
 	seed, err := s.execSeed()
 	if err != nil {
-		return nil, nil, false, alg, devices, sim.Stats{}, err
+		return nil, nil, false, alg, devices, sim.Stats{}, use, err
 	}
 	host := sim.NewHost(0)
 	cop, err := sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Seed: seed})
 	if err != nil {
-		return nil, nil, false, alg, devices, sim.Stats{}, err
+		return nil, nil, false, alg, devices, sim.Stats{}, use, err
 	}
 	// The fleet shares device 0's sealer (parallel variants re-encrypt cells
 	// for each other) while every device keeps its own derived seed, trace
@@ -581,14 +598,14 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		cops[i], err = sim.NewCoprocessor(host, sim.Config{Memory: s.Memory, Sealer: cop.Sealer(), Seed: dseed})
 		if err != nil {
-			return nil, nil, false, alg, devices, sim.Stats{}, err
+			return nil, nil, false, alg, devices, sim.Stats{}, use, err
 		}
 	}
 	tabs := make([]sim.Table, len(rels))
 	for i, rel := range rels {
 		tabs[i], err = sim.LoadTable(host, cop.Sealer(), names[i], rel)
 		if err != nil {
-			return nil, nil, false, alg, devices, sim.Stats{}, err
+			return nil, nil, false, alg, devices, sim.Stats{}, use, err
 		}
 	}
 
@@ -599,8 +616,8 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		return st
 	}
-	fail := func(ferr error) ([][]byte, *relation.Schema, bool, string, int, sim.Stats, error) {
-		return nil, nil, false, alg, devices, fleetStats(), ferr
+	fail := func(ferr error) ([][]byte, *relation.Schema, bool, string, int, sim.Stats, core.CacheUse, error) {
+		return nil, nil, false, alg, devices, fleetStats(), use, ferr
 	}
 
 	var res core.Result
@@ -680,7 +697,21 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		if !ok {
 			return fail(errors.New("service: alg7 requires an equi predicate"))
 		}
-		if devices > 1 {
+		if s.SortCache != nil {
+			keyA, kerr := sortCacheKey(s.Contract.ID, "A", rels[0])
+			if kerr != nil {
+				return fail(kerr)
+			}
+			keyB, kerr := sortCacheKey(s.Contract.ID, "B", rels[1])
+			if kerr != nil {
+				return fail(kerr)
+			}
+			if devices > 1 {
+				res, use, err = core.ParallelJoin7Cached(cops, tabs[0], tabs[1], eq, s.SortCache, keyA, keyB)
+			} else {
+				res, use, err = core.Join7Cached(cop, tabs[0], tabs[1], eq, s.SortCache, keyA, keyB)
+			}
+		} else if devices > 1 {
 			res, err = core.ParallelJoin7(cops, tabs[0], tabs[1], eq)
 		} else {
 			res, err = core.Join7(cop, tabs[0], tabs[1], eq)
@@ -703,7 +734,27 @@ func (s *Service) runJoin() (rows [][]byte, schema *relation.Schema, padded bool
 		}
 		out = append(out, cell)
 	}
-	return out, res.Output.Schema, padded, alg, devices, res.Stats, nil
+	return out, res.Output.Schema, padded, alg, devices, res.Stats, use, nil
+}
+
+// sortCacheKey derives the sorted-relation cache key for one side of an
+// alg7 join: contract, side, public row count, and a digest of the
+// decrypted upload bytes. The digest is computed here — inside the seal
+// boundary the Service models — so the host only ever observes whether two
+// sealed uploads of the same contract hashed equal, never the bytes.
+func sortCacheKey(contractID, side string, rel *relation.Relation) (string, error) {
+	rows, err := rel.EncodeAll()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, row := range rows {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(row)))
+		h.Write(n[:])
+		h.Write(row)
+	}
+	return fmt.Sprintf("%s|%s|%d|%x", contractID, side, rel.Len(), h.Sum(nil)), nil
 }
 
 // runAggregate executes an "aggregate" contract: the statistic is computed
