@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"time"
+
+	"ppj/internal/server"
 )
 
 // options is the parsed and validated command line.
@@ -28,6 +30,8 @@ type options struct {
 	tenantInFlight int
 	tenantRate     float64
 	tenantBurst    float64
+	scheduler      string
+	tick           time.Duration
 }
 
 // parseFlags binds the flag set, parses args, and validates the result.
@@ -55,6 +59,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.tenantInFlight, "tenant-max-inflight", 0, "per-tenant cap on unsettled jobs, fleet-wide (0 is unlimited)")
 	fs.Float64Var(&o.tenantRate, "tenant-rate", 0, "per-tenant submission rate in jobs/second (0 disables rate limiting)")
 	fs.Float64Var(&o.tenantBurst, "tenant-burst", 0, "token-bucket capacity for -tenant-rate (floored at 1)")
+	fs.StringVar(&o.scheduler, "scheduler", "", "ready-queue policy per shard: fair (weighted per-tenant round-robin, the default) or fifo (the historical global queue)")
+	fs.DurationVar(&o.tick, "tick", 0, "recurring-contract tick interval per shard; 0 disables the tick loop (schedules only fire via explicit ticks)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -112,6 +118,14 @@ func (o *options) validate() error {
 	}
 	if o.tenantBurst > 0 && o.tenantRate == 0 {
 		return fmt.Errorf("-tenant-burst needs -tenant-rate: a bucket with no refill admits nothing after the burst")
+	}
+	switch o.scheduler {
+	case "", server.PolicyFair, server.PolicyFIFO:
+	default:
+		return fmt.Errorf("-scheduler must be %q or %q, got %q", server.PolicyFair, server.PolicyFIFO, o.scheduler)
+	}
+	if o.tick < 0 {
+		return fmt.Errorf("-tick must not be negative, got %v", o.tick)
 	}
 	return nil
 }

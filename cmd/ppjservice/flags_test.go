@@ -32,6 +32,21 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.maxUploadBytes != 0 || o.uploadWindow != 0 || o.uploadDeadline != 0 || o.chunkRows != 0 {
 		t.Fatalf("upload defaults: %+v", o)
 	}
+	if o.scheduler != "" || o.tick != 0 {
+		t.Fatalf("scheduler defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsScheduler(t *testing.T) {
+	for _, policy := range []string{"fair", "fifo"} {
+		o, err := parse(t, "-scheduler", policy, "-tick", "5s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.scheduler != policy || o.tick != 5*time.Second {
+			t.Fatalf("parsed: %+v", o)
+		}
+	}
 }
 
 func TestParseFlagsUploadLimits(t *testing.T) {
@@ -71,6 +86,8 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"negative upload window", []string{"-upload-window", "-3"}, "-upload-window"},
 		{"negative upload deadline", []string{"-upload-deadline", "-2s"}, "-upload-deadline"},
 		{"negative chunk rows", []string{"-chunk-rows", "-64"}, "-chunk-rows"},
+		{"unknown scheduler", []string{"-scheduler", "lottery"}, "-scheduler"},
+		{"negative tick", []string{"-tick", "-1s"}, "-tick"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,59 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Unix(1_000, 0)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	if got := f.Advance(3 * time.Second); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Advance returned %v, want %v", got, start.Add(3*time.Second))
+	}
+	if got := f.Advance(-time.Hour); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("negative Advance moved the clock to %v", got)
+	}
+	f.Set(start) // in the past: ignored
+	if got := f.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Set into the past moved the clock to %v", got)
+	}
+	later := start.Add(time.Minute)
+	f.Set(later)
+	if got := f.Now(); !got.Equal(later) {
+		t.Fatalf("Set(%v) left the clock at %v", later, got)
+	}
+}
+
+func TestFakeNowFuncAndConcurrency(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	now := f.NowFunc()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Advance(time.Millisecond)
+				_ = now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := f.Now(), time.Unix(8, 0); !got.Equal(want) {
+		t.Fatalf("after 8000 1ms advances Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	before := time.Now()
+	got := System().Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System().Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ppj/internal/server"
 	"ppj/internal/server/wal"
@@ -41,10 +42,13 @@ type Config struct {
 type Router struct {
 	cfg    Config
 	shards []*server.Server
-	ring   *Ring
 
-	mu  sync.RWMutex
-	dir map[string]int // contract ID -> admitting shard
+	// mu guards the routing state: the directory, the ring (rebuilt when a
+	// shard's liveness changes), and the liveness flags themselves.
+	mu   sync.RWMutex
+	ring *Ring
+	dir  map[string]int // contract ID -> admitting shard
+	live []bool         // live[i]: shard i accepts new placements
 
 	spills       atomic.Uint64
 	shuttingDown atomic.Bool
@@ -61,7 +65,10 @@ func New(cfg Config) (*Router, error) {
 	if n <= 0 {
 		n = 1
 	}
-	r := &Router{cfg: cfg, ring: NewRing(n, cfg.Replicas), dir: make(map[string]int)}
+	r := &Router{cfg: cfg, ring: NewRing(n, cfg.Replicas), dir: make(map[string]int), live: make([]bool, n)}
+	for i := range r.live {
+		r.live[i] = true
+	}
 	// One quota enforcer is shared by every shard, so a tenant's in-flight
 	// cap and submission rate hold fleet-wide no matter which shards its
 	// contracts land on (spillover included).
@@ -118,8 +125,54 @@ func (r *Router) NumShards() int { return len(r.shards) }
 func (r *Router) Shard(i int) *server.Server { return r.shards[i] }
 
 // Owner returns the ring owner of a contract ID — where a registration is
-// placed before any spillover.
-func (r *Router) Owner(id string) int { return r.ring.Owner(id) }
+// placed before any spillover. The ring covers only live shards.
+func (r *Router) Owner(id string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Owner(id)
+}
+
+// SetShardLive marks shard i live or drained for NEW placements and
+// rebuilds the ring over the live set. Removal does not touch the shard
+// itself: contracts it already admitted stay in the directory, their
+// sessions keep routing to it, and its workers keep draining — only the
+// ring forgets it, so new contract IDs remap (about 1/N of the keyspace,
+// the consistent-hashing property the removal suite pins). Re-adding the
+// shard restores the identical ring, because ring construction is
+// deterministic in the live ID set. Draining the last live shard is
+// refused: a fleet with an empty ring could place nothing.
+func (r *Router) SetShardLive(i int, live bool) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("fleet: shard %d out of range [0, %d)", i, len(r.shards))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live[i] == live {
+		return nil
+	}
+	var ids []int
+	for j, l := range r.live {
+		if j == i {
+			l = live
+		}
+		if l {
+			ids = append(ids, j)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("fleet: refusing to drain shard %d: it is the last live shard", i)
+	}
+	r.live[i] = live
+	r.ring = newRingIDs(ids, r.cfg.Replicas)
+	return nil
+}
+
+// ShardLive reports whether shard i currently accepts new placements.
+func (r *Router) ShardLive(i int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live[i]
+}
 
 // ShardFor resolves a registered contract to its admitting shard.
 func (r *Router) ShardFor(id string) (int, *server.Server, error) {
@@ -139,22 +192,44 @@ func (r *Router) ShardFor(id string) (int, *server.Server, error) {
 // entry is reserved before the shard admission runs, so two racing
 // registrations of one ID cannot land on different shards.
 func (r *Router) Register(c *service.Contract) (*server.Job, error) {
+	return r.admit(c, func(sh *server.Server) (*server.Job, error) {
+		return sh.Register(c)
+	})
+}
+
+// RegisterScheduled admits a recurring contract — placed, spilled, and
+// routed exactly like Register — whose schedule lives on the admitting
+// shard: that shard journals the due-times in its own WAL and fires the
+// re-executions through its Resubmit path, keeping the contract's whole
+// execution history in one crash domain.
+func (r *Router) RegisterScheduled(c *service.Contract, every time.Duration) (*server.Job, error) {
+	return r.admit(c, func(sh *server.Server) (*server.Job, error) {
+		return sh.RegisterScheduled(c, every)
+	})
+}
+
+// admit runs one contract admission with directory reservation and
+// ErrQueueFull spillover; register performs the shard-level registration.
+func (r *Router) admit(c *service.Contract, register func(*server.Server) (*server.Job, error)) (*server.Job, error) {
 	if r.shuttingDown.Load() {
 		return nil, server.ErrShuttingDown
 	}
-	primary := r.ring.Owner(c.ID)
+	// The primary is read under the same lock as the reservation, so a
+	// concurrent SetShardLive cannot slip a ring rebuild between the route
+	// decision and the directory entry.
 	r.mu.Lock()
 	if _, dup := r.dir[c.ID]; dup {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("fleet: contract %q already registered", c.ID)
 	}
+	primary := r.ring.Owner(c.ID)
 	r.dir[c.ID] = primary // reservation: rolled back if no shard admits
 	r.mu.Unlock()
 
-	j, err := r.shards[primary].Register(c)
+	j, err := register(r.shards[primary])
 	if err != nil && errors.Is(err, server.ErrQueueFull) {
 		if spill, ok := r.leastLoaded(primary); ok {
-			if js, errs := r.shards[spill].Register(c); errs == nil {
+			if js, errs := register(r.shards[spill]); errs == nil {
 				r.mu.Lock()
 				r.dir[c.ID] = spill
 				r.mu.Unlock()
@@ -174,6 +249,18 @@ func (r *Router) Register(c *service.Contract) (*server.Job, error) {
 	return j, nil
 }
 
+// Tick fires due recurring contracts on every shard, returning the number
+// of re-executions submitted fleet-wide. Shards whose Config.TickEvery is
+// set tick themselves; this is the explicit seam for tests and for
+// deployments that drive the fleet clock centrally.
+func (r *Router) Tick() int {
+	fired := 0
+	for _, sh := range r.shards {
+		fired += sh.Tick()
+	}
+	return fired
+}
+
 // Resubmit re-executes a registered contract on the shard that admitted it.
 // There is no spillover: the contract's execution history, WAL, and cached
 // sorted forms live on that shard, so a re-execution elsewhere would both
@@ -190,13 +277,18 @@ func (r *Router) Resubmit(contractID string) (*server.Job, error) {
 	return sh.Resubmit(contractID)
 }
 
-// leastLoaded picks the spill target: the shard (other than skip) with
-// queue headroom and the smallest load, ties broken by index so the choice
-// is deterministic. ok is false when the whole fleet is saturated.
+// leastLoaded picks the spill target: the live shard (other than skip)
+// with queue headroom and the smallest load, ties broken by index so the
+// choice is deterministic. ok is false when the whole fleet is saturated.
+// Drained shards never receive spillover — they are finishing what they
+// have.
 func (r *Router) leastLoaded(skip int) (shard int, ok bool) {
+	r.mu.RLock()
+	live := append([]bool(nil), r.live...)
+	r.mu.RUnlock()
 	var best server.Load
 	for i, sh := range r.shards {
-		if i == skip {
+		if i == skip || !live[i] {
 			continue
 		}
 		l := sh.Load()

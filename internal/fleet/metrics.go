@@ -67,6 +67,11 @@ func aggregate(shards []server.Snapshot) server.Snapshot {
 		out.SortCacheEvictions += s.SortCacheEvictions
 		out.SortCacheHits += s.SortCacheHits
 		out.SortCacheMisses += s.SortCacheMisses
+		out.RecurrencesFired += s.RecurrencesFired
+		out.RecurrencesSkipped += s.RecurrencesSkipped
+		// Every shard runs the same template config, so the policy label is
+		// uniform across the fleet.
+		out.Scheduler = s.Scheduler
 	}
 	return out
 }

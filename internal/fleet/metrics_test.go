@@ -124,7 +124,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       "sort_cache_bytes": 0,
       "sort_cache_evictions": 0,
       "sort_cache_hits": 0,
-      "sort_cache_misses": 0
+      "sort_cache_misses": 0,
+      "scheduler": "fair",
+      "recurrences_fired": 0,
+      "recurrences_skipped": 0
     },
     {
       "shard": 1,
@@ -159,7 +162,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
       "sort_cache_bytes": 0,
       "sort_cache_evictions": 0,
       "sort_cache_hits": 0,
-      "sort_cache_misses": 0
+      "sort_cache_misses": 0,
+      "scheduler": "fair",
+      "recurrences_fired": 0,
+      "recurrences_skipped": 0
     }
   ],
   "fleet": {
@@ -194,7 +200,10 @@ func TestFleetMetricsGoldenSnapshot(t *testing.T) {
     "sort_cache_bytes": 0,
     "sort_cache_evictions": 0,
     "sort_cache_hits": 0,
-    "sort_cache_misses": 0
+    "sort_cache_misses": 0,
+    "scheduler": "fair",
+    "recurrences_fired": 0,
+    "recurrences_skipped": 0
   },
   "spills": 0
 }`

@@ -106,11 +106,18 @@ func TestFleetConcurrentStress(t *testing.T) {
 // driveOne registers and runs one group end to end against the router,
 // error-returning throughout so it is safe off the test goroutine.
 func driveOne(rt *Router, g *group) error {
-	id := g.contract.ID
 	j, err := rt.Register(g.contract)
 	if err != nil {
-		return fmt.Errorf("%s: register: %w", id, err)
+		return fmt.Errorf("%s: register: %w", g.contract.ID, err)
 	}
+	return driveAdmitted(rt, g, j)
+}
+
+// driveAdmitted runs an already-admitted group's job end to end against
+// the router — the shared back half of driveOne and the recurring stress
+// driver (whose admissions go through RegisterScheduled instead).
+func driveAdmitted(rt *Router, g *group, j *server.Job) error {
+	id := g.contract.ID
 	_, sh, err := rt.ShardFor(id)
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)

@@ -115,6 +115,9 @@ type Job struct {
 	// slot this job must release when it settles.
 	tenant    string
 	quotaHeld bool
+	// priority is the contract's scheduling class, copied at admission so
+	// the scheduler never reaches back into the contract.
+	priority int
 
 	providers      int
 	wantRecipients int

@@ -22,6 +22,13 @@ type Metrics struct {
 	walFailures atomic.Uint64
 	cop         sim.AtomicStats
 
+	// Recurring-contract outcomes: fired counts due schedules whose
+	// re-execution was submitted; skipped counts due schedules whose fire
+	// was refused (quota, backpressure, shutdown, journal failure) — the
+	// schedule still advances, so a skip is a missed interval, not a stall.
+	recurFired   atomic.Uint64
+	recurSkipped atomic.Uint64
+
 	// Sorted-relation cache outcomes: one count per side per execution that
 	// consulted the cache (hit = the pre-sorted form was reused; miss = the
 	// side sorted cold and, when possible, populated the cache).
@@ -81,6 +88,12 @@ func (m *Metrics) queueAdd(delta int64) { m.queueDepth.Add(delta) }
 // in-memory lifecycle continues, so a non-zero count means the job table
 // has drifted from what a crash would recover — a health alarm, not noise.
 func (m *Metrics) walAppendFailed() { m.walFailures.Add(1) }
+
+// recurrenceFired counts a due schedule whose re-execution was submitted.
+func (m *Metrics) recurrenceFired() { m.recurFired.Add(1) }
+
+// recurrenceSkipped counts a due schedule whose fire was refused.
+func (m *Metrics) recurrenceSkipped() { m.recurSkipped.Add(1) }
 
 // sortCacheHit counts one join side served from the sorted-relation cache.
 func (m *Metrics) sortCacheHit() { m.sortCacheHits.Add(1) }
@@ -188,6 +201,13 @@ type Snapshot struct {
 	// across executions that consulted the sorted-relation cache.
 	SortCacheHits   uint64 `json:"sort_cache_hits"`
 	SortCacheMisses uint64 `json:"sort_cache_misses"`
+	// Scheduler names the ready-queue discipline in force ("fair"/"fifo").
+	Scheduler string `json:"scheduler"`
+	// RecurrencesFired counts due recurring-contract schedules whose
+	// re-execution was submitted; RecurrencesSkipped counts due schedules
+	// whose fire was refused (quota, backpressure, shutdown).
+	RecurrencesFired   uint64 `json:"recurrences_fired"`
+	RecurrencesSkipped uint64 `json:"recurrences_skipped"`
 }
 
 // DeviceSnapshot summarises how many coprocessors jobs attached.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ppj/internal/clock"
 	"ppj/internal/relation"
 )
 
@@ -93,16 +94,16 @@ func TestQuotaRefusalLeavesNoTrace(t *testing.T) {
 // admitted after 1/Rate seconds.
 func TestQuotaTokenBucketRefill(t *testing.T) {
 	const rate, burst = 2.0, 3.0
-	now := time.Unix(1_000_000, 0)
-	q := NewQuotas(QuotaConfig{Rate: rate, Burst: burst}, func() time.Time { return now })
+	fake := clock.NewFake(time.Unix(1_000_000, 0))
+	q := NewQuotas(QuotaConfig{Rate: rate, Burst: burst}, fake.NowFunc())
 
 	// Reference bucket, mirroring the documented semantics: refill
 	// rate·dt capped at burst, admit iff a full token is present.
-	tokens, last := burst, now
+	tokens, last := burst, fake.Now()
 	rng := relation.NewRand(99)
 	admitted, refused := 0, 0
 	for i := 0; i < 2000; i++ {
-		now = now.Add(time.Duration(rng.Int64N(1500)) * time.Millisecond)
+		now := fake.Advance(time.Duration(rng.Int64N(1500)) * time.Millisecond)
 		if dt := now.Sub(last).Seconds(); dt > 0 {
 			tokens += dt * rate
 			if tokens > burst {
@@ -133,7 +134,7 @@ func TestQuotaTokenBucketRefill(t *testing.T) {
 	for q.Acquire("t") == nil {
 		q.Release("t")
 	}
-	now = now.Add(time.Duration(float64(time.Second) / rate))
+	fake.Advance(time.Duration(float64(time.Second) / rate))
 	if err := q.Acquire("t"); err != nil {
 		t.Fatalf("conforming tenant refused after a full refill interval: %v", err)
 	}
@@ -144,8 +145,8 @@ func TestQuotaTokenBucketRefill(t *testing.T) {
 // tenant), and one tenant exhausting its bucket leaves other tenants'
 // buckets untouched.
 func TestQuotaBurstFloorAndIsolation(t *testing.T) {
-	now := time.Unix(5_000, 0)
-	q := NewQuotas(QuotaConfig{Rate: 1, Burst: 0}, func() time.Time { return now })
+	fake := clock.NewFake(time.Unix(5_000, 0))
+	q := NewQuotas(QuotaConfig{Rate: 1, Burst: 0}, fake.NowFunc())
 	if err := q.Acquire("t"); err != nil {
 		t.Fatalf("first acquire against the floored burst: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestQuotaBurstFloorAndIsolation(t *testing.T) {
 	if err := q.Acquire("other"); err != nil {
 		t.Fatalf("tenant isolation: %v", err)
 	}
-	now = now.Add(time.Second)
+	fake.Advance(time.Second)
 	if err := q.Acquire("t"); err != nil {
 		t.Fatalf("acquire after refill: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"ppj/internal/server/resultstore"
 	"ppj/internal/server/wal"
@@ -63,20 +64,21 @@ type recoveredCache struct {
 // overwrite the state — the log is the authority on ordering — and records
 // for unregistered contracts or unborn jobs (possible only through manual
 // log surgery) are dropped.
-func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recoveredCache, error) {
+func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recoveredCache, map[string]Schedule, error) {
 	byContract := make(map[string]*recoveredContract)
 	byJob := make(map[string]*recoveredJob)
 	cache := make(map[string]*recoveredCache)
+	schedules := make(map[string]Schedule)
 	var order []*recoveredContract
 	for _, rec := range recs {
 		switch rec.Type {
 		case wal.TypeRegistered:
 			c, err := decodeContract(rec.Contract)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			if _, dup := byContract[c.ID]; dup {
-				return nil, nil, fmt.Errorf("server: wal registers contract %q twice", c.ID)
+				return nil, nil, nil, fmt.Errorf("server: wal registers contract %q twice", c.ID)
 			}
 			rc := &recoveredContract{contract: c}
 			rj := &recoveredJob{id: c.ID, seq: 1, state: StatePending}
@@ -90,7 +92,7 @@ func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recovered
 				continue
 			}
 			if _, dup := byJob[rec.JobID]; dup {
-				return nil, nil, fmt.Errorf("server: wal resubmits job %q twice", rec.JobID)
+				return nil, nil, nil, fmt.Errorf("server: wal resubmits job %q twice", rec.JobID)
 			}
 			rj := &recoveredJob{id: rec.JobID, seq: len(rc.jobs) + 1, state: StatePending}
 			rc.jobs = append(rc.jobs, rj)
@@ -101,7 +103,7 @@ func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recovered
 				continue
 			}
 			if rec.To < 0 || rec.To >= numStates {
-				return nil, nil, fmt.Errorf("server: wal transition to unknown state %d", rec.To)
+				return nil, nil, nil, fmt.Errorf("server: wal transition to unknown state %d", rec.To)
 			}
 			rj.state = State(rec.To)
 			rj.cause = rec.Cause
@@ -122,9 +124,20 @@ func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recovered
 				cache[rec.ContractID] = cr
 			}
 			cr.evictCause = rec.Cause
+		case wal.TypeScheduled:
+			// Schedule records for unregistered contracts (log surgery) are
+			// dropped below; here the last record per contract simply wins —
+			// each fire appends the advanced due-time, so the log's final
+			// word is the live schedule.
+			if _, ok := byContract[rec.ContractID]; ok {
+				schedules[rec.ContractID] = Schedule{
+					Every: time.Duration(rec.Every),
+					Next:  time.Unix(0, rec.Due),
+				}
+			}
 		}
 	}
-	return order, cache, nil
+	return order, cache, schedules, nil
 }
 
 // recover rebuilds the registry, the job table, the tenant quota slots, and
@@ -143,7 +156,7 @@ func foldRecords(recs []wal.Record) ([]*recoveredContract, map[string]*recovered
 // torn cache-stored record costs exactly the cached sorted form; the job
 // itself stays runnable cold.
 func (s *Server) recover(recs []wal.Record) error {
-	folded, cacheMan, err := foldRecords(recs)
+	folded, cacheMan, schedules, err := foldRecords(recs)
 	if err != nil {
 		return err
 	}
@@ -179,6 +192,12 @@ func (s *Server) recover(recs []wal.Record) error {
 		if !live[key] {
 			s.sortcache.Remove(key)
 		}
+	}
+	// Recurring schedules resume at their journaled due instants — not
+	// "now + every" — so a due-time survives any number of restarts
+	// unchanged and Tick fires it as soon as the clock catches up.
+	for id, sc := range schedules {
+		s.recur[id] = &recurrence{every: sc.Every, next: sc.Next}
 	}
 	return nil
 }
@@ -226,6 +245,7 @@ func (s *Server) recoverJob(c *service.Contract, rj *recoveredJob) error {
 		id:             rj.id,
 		seq:            rj.seq,
 		tenant:         c.Tenant,
+		priority:       c.Priority,
 		ctx:            ctx,
 		cancel:         cancel,
 		providers:      providers,

@@ -124,7 +124,10 @@ func TestRecoverRebuildsJobTable(t *testing.T) {
   "sort_cache_bytes": 0,
   "sort_cache_evictions": 0,
   "sort_cache_hits": 0,
-  "sort_cache_misses": 0
+  "sort_cache_misses": 0,
+  "scheduler": "fair",
+  "recurrences_fired": 0,
+  "recurrences_skipped": 0
 }`
 	if string(js) != wantSnap {
 		t.Fatalf("recovered metrics snapshot:\n%s\nwant:\n%s", js, wantSnap)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ppj/internal/clock"
 )
 
 // recJournal records manifest events in order, standing in for the server's
@@ -204,21 +206,21 @@ func TestTooLargeTombstone(t *testing.T) {
 
 // TestTTLExpiry drives lazy expiry through the injected clock.
 func TestTTLExpiry(t *testing.T) {
-	now := time.Unix(1000, 0)
+	fake := clock.NewFake(time.Unix(1000, 0))
 	j := &recJournal{}
 	s, err := Open(Config{Dir: t.TempDir(), TTL: time.Minute, Journal: j,
-		Now: func() time.Time { return now }})
+		Now: fake.NowFunc()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Put("old", []byte("m"), mkRows(2, 8)); err != nil {
 		t.Fatal(err)
 	}
-	now = now.Add(30 * time.Second)
+	fake.Advance(30 * time.Second)
 	if err := s.Put("young", []byte("m"), mkRows(2, 8)); err != nil {
 		t.Fatal(err)
 	}
-	now = now.Add(45 * time.Second) // old is 75s stale, young 45s
+	fake.Advance(45 * time.Second) // old is 75s stale, young 45s
 	var ev *EvictedError
 	if _, _, err := s.Get("old"); !errors.As(err, &ev) || ev.Cause != CauseTTL {
 		t.Fatalf("expired Get: %v, want EvictedError ttl", err)

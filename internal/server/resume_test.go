@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ppj/internal/clock"
 	"ppj/internal/relation"
 	"ppj/internal/service"
 )
@@ -280,7 +281,10 @@ func TestResultEvictionCauses(t *testing.T) {
 	})
 
 	t.Run("ttl", func(t *testing.T) {
-		srv, err := New(Config{Workers: 1, Memory: 16, DataDir: t.TempDir(), ResultTTL: 30 * time.Millisecond})
+		// The store's expiry clock is the server's injected fake, so the
+		// TTL boundary is deterministic — no sleeps, no wall-clock margin.
+		fake := clock.NewFake(time.Unix(60_000, 0))
+		srv, err := New(Config{Workers: 1, Memory: 16, DataDir: t.TempDir(), ResultTTL: time.Hour, Clock: fake})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -291,7 +295,7 @@ func TestResultEvictionCauses(t *testing.T) {
 			t.Fatal(err)
 		}
 		driveToDelivered(t, srv, g, j)
-		time.Sleep(80 * time.Millisecond)
+		fake.Advance(time.Hour + time.Minute)
 		var ev *ResultEvictedError
 		if _, err := srv.loadResult(g.contract.ID); !errors.As(err, &ev) || ev.Cause != "ttl" {
 			t.Fatalf("loadResult after TTL: %v, want ErrResultEvicted (ttl)", err)

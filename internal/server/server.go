@@ -2,8 +2,10 @@
 // long-running, multi-tenant join server. One attested device arbitrates
 // many registered contracts; a single listener accepts sessions for any of
 // them (the hello's ContractID routes each connection); and a bounded
-// worker pool of simulated coprocessors executes ready jobs from a FIFO
-// queue with explicit backpressure. This is the shape TEE-backed encrypted
+// worker pool of simulated coprocessors executes ready jobs from a
+// pluggable scheduler — weighted fair-share across tenants by default, the
+// historical FIFO as a config choice — with explicit backpressure. This is
+// the shape TEE-backed encrypted
 // databases take in production — a continuously available service
 // dispatching oblivious joins across limited secure-worker capacity —
 // rather than the one-shot Service.Execute flow.
@@ -20,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"ppj/internal/clock"
 	"ppj/internal/secop"
 	"ppj/internal/server/resultstore"
 	"ppj/internal/server/wal"
@@ -39,9 +42,32 @@ type Config struct {
 	// Workers is the coprocessor pool size P (concurrently running jobs).
 	// Defaults to 2.
 	Workers int
-	// QueueDepth bounds the ready-job FIFO queue; a job that becomes ready
-	// while the queue is full fails with ErrQueueFull. Defaults to 16.
+	// QueueDepth bounds the ready-job queue; a job that becomes ready
+	// while the bound is hit fails with ErrQueueFull. Under the fair
+	// scheduler the bound applies per tenant (one tenant flooding refuses
+	// only its own jobs); under "fifo" it is the whole queue. Defaults
+	// to 16.
 	QueueDepth int
+	// Scheduler selects the ready-queue discipline: "fair" (the default;
+	// weighted deficit round-robin across per-tenant queues with
+	// per-contract priority classes) or "fifo" (the historical single
+	// bounded queue, strict arrival order). Unknown values are refused at
+	// construction.
+	Scheduler string
+	// TenantWeights sets per-tenant fair-share weights for the "fair"
+	// scheduler; unlisted tenants (and values < 1) weigh 1. A tenant of
+	// weight w receives w job slots per round-robin cycle while it has
+	// queued work.
+	TenantWeights map[string]int
+	// Clock overrides the server's time source (tests use clock.NewFake to
+	// drive recurring contracts deterministically). Nil uses the system
+	// clock. It governs recurrence due-times, the quota limiter (unless
+	// QuotaNow is set), and the result store's TTL clock.
+	Clock clock.Clock
+	// TickEvery, when positive, starts a background loop that fires due
+	// recurring contracts every interval. Zero leaves firing to explicit
+	// Tick calls (tests advance a fake clock and call Tick themselves).
+	TickEvery time.Duration
 	// Shards asks for a multi-host fleet. A Server is always exactly one
 	// simulated host; the field is interpreted by internal/fleet.New, which
 	// builds Shards of them behind one consistent-hashing router (each with
@@ -155,7 +181,17 @@ type Server struct {
 	sortcache *resultstore.Store
 	cache     *sortedCache
 	quotas    *Quotas
-	queue     chan *Job
+	sched     Scheduler
+	clk       clock.Clock
+
+	// recurMu guards the recurrence table. fireRecurrence holds it across
+	// the due-check and the WAL append of the advanced due-time, so two
+	// concurrent Ticks can never journal (and fire) the same due instant
+	// twice. It is never held while regMu is taken — Resubmit runs outside
+	// it.
+	recurMu  sync.Mutex
+	recur    map[string]*recurrence
+	tickStop chan struct{}
 
 	// regMu serialises admissions: the duplicate check, the WAL append,
 	// and publication in the registry form one critical section, so a job
@@ -186,6 +222,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > 1 {
 		return nil, fmt.Errorf("server: Config.Shards = %d: a Server is one shard; build a fleet with internal/fleet.New", cfg.Shards)
 	}
+	sched, err := newScheduler(cfg.Scheduler, cfg.QueueDepth, cfg.TenantWeights)
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
 	dev, err := service.BootDevice()
 	if err != nil {
 		return nil, err
@@ -196,7 +240,10 @@ func New(cfg Config) (*Server, error) {
 		registry: newRegistry(),
 		metrics:  newMetrics(),
 		store:    NopStore{},
-		queue:    make(chan *Job, cfg.QueueDepth),
+		sched:    sched,
+		clk:      clk,
+		recur:    make(map[string]*recurrence),
+		tickStop: make(chan struct{}),
 	}
 	var recs []wal.Record
 	replay := false
@@ -223,6 +270,7 @@ func New(cfg Config) (*Server, error) {
 		MaxBytes: cfg.MaxResultBytes,
 		TTL:      cfg.ResultTTL,
 		Journal:  walJournal{s},
+		Now:      clk.Now,
 	})
 	if err != nil {
 		s.store.Close()
@@ -250,11 +298,15 @@ func New(cfg Config) (*Server, error) {
 	s.cache = &sortedCache{srv: s}
 	s.quotas = cfg.Quotas
 	if s.quotas == nil {
+		quotaNow := cfg.QuotaNow
+		if quotaNow == nil {
+			quotaNow = clk.Now
+		}
 		s.quotas = NewQuotas(QuotaConfig{
 			MaxInFlight: cfg.TenantMaxInFlight,
 			Rate:        cfg.TenantRate,
 			Burst:       cfg.TenantBurst,
-		}, cfg.QuotaNow)
+		}, quotaNow)
 	}
 	if replay {
 		if err := s.recover(recs); err != nil {
@@ -300,6 +352,12 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	snap.SortCacheEvictions = s.sortcache.Evictions() + s.sortcache.RecoveryEvictions()
 	snap.SortCacheHits = s.metrics.sortCacheHits.Load()
 	snap.SortCacheMisses = s.metrics.sortCacheMisses.Load()
+	snap.Scheduler = s.cfg.Scheduler
+	if snap.Scheduler == "" {
+		snap.Scheduler = PolicyFair
+	}
+	snap.RecurrencesFired = s.metrics.recurFired.Load()
+	snap.RecurrencesSkipped = s.metrics.recurSkipped.Load()
 	return snap
 }
 
@@ -316,6 +374,10 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cfg.TickEvery > 0 {
+		s.wg.Add(1)
+		go s.tickLoop(s.cfg.TickEvery)
+	}
 }
 
 // Register verifies and admits a contract, creating its job in state
@@ -331,8 +393,8 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 	// deliberately side-effect free — no metric, no WAL record — so a
 	// refused admission leaves no gauge drift behind when the router
 	// re-registers the contract on another shard.
-	if s.cfg.AdmissionControl && len(s.queue) >= cap(s.queue) {
-		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, cap(s.queue))
+	if s.cfg.AdmissionControl && s.sched.Full() {
+		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, s.sched.Cap())
 	}
 	if err := c.CheckRoles(); err != nil {
 		return nil, err
@@ -358,6 +420,7 @@ func (s *Server) Register(c *service.Contract) (*Job, error) {
 		id:             c.ID,
 		seq:            1,
 		tenant:         c.Tenant,
+		priority:       c.Priority,
 		ctx:            ctx,
 		cancel:         cancel,
 		providers:      providers,
@@ -418,8 +481,8 @@ func (s *Server) Resubmit(contractID string) (*Job, error) {
 	if down {
 		return nil, ErrShuttingDown
 	}
-	if s.cfg.AdmissionControl && len(s.queue) >= cap(s.queue) {
-		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, cap(s.queue))
+	if s.cfg.AdmissionControl && s.sched.Full() {
+		return nil, fmt.Errorf("%w (depth %d): admission refused", ErrQueueFull, s.sched.Cap())
 	}
 	c, err := s.registry.Contract(contractID)
 	if err != nil {
@@ -438,6 +501,7 @@ func (s *Server) Resubmit(contractID string) (*Job, error) {
 		svc:            svc,
 		srv:            s,
 		tenant:         c.Tenant,
+		priority:       c.Priority,
 		ctx:            ctx,
 		cancel:         cancel,
 		providers:      providers,
@@ -565,9 +629,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// enqueue pushes a ready job onto the FIFO queue, failing it with
-// ErrQueueFull when the queue is at capacity (queue-depth backpressure)
-// or ErrShuttingDown during drain.
+// enqueue hands a ready job to the scheduler, failing it with the
+// scheduler's typed refusal — ErrQueueFull at the discipline's bound
+// (queue-depth backpressure, per tenant under fair scheduling) or
+// ErrShuttingDown during drain.
 func (s *Server) enqueue(j *Job) {
 	s.mu.Lock()
 	if s.shuttingDown {
@@ -575,20 +640,24 @@ func (s *Server) enqueue(j *Job) {
 		j.fail(ErrShuttingDown, false)
 		return
 	}
-	select {
-	case s.queue <- j:
+	err := s.sched.Enqueue(j)
+	if err == nil {
 		s.metrics.queueAdd(1)
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		j.fail(fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue)), false)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		j.fail(err, false)
 	}
 }
 
-// worker executes ready jobs until the queue closes.
+// worker executes ready jobs until the scheduler closes.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.Next()
+		if !ok {
+			return
+		}
 		s.metrics.queueAdd(-1)
 		s.runJob(j)
 	}
@@ -620,20 +689,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.shuttingDown {
 		s.shuttingDown = true
-		for {
-			var drained bool
-			select {
-			case j := <-s.queue:
-				s.metrics.queueAdd(-1)
-				queued = append(queued, j)
-			default:
-				drained = true
-			}
-			if drained {
-				break
-			}
+		queued = s.sched.Close()
+		for range queued {
+			s.metrics.queueAdd(-1)
 		}
-		close(s.queue)
+		close(s.tickStop)
 	}
 	s.mu.Unlock()
 	for _, j := range queued {
@@ -668,9 +728,9 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Load is a point-in-time load observation of one server, read lock-free
-// from the queue channel and the metrics gauges. The fleet router's
-// spillover policy orders shards by it.
+// Load is a point-in-time load observation of one server, read from the
+// scheduler and the metrics gauges. The fleet router's spillover policy
+// orders shards by it.
 type Load struct {
 	// QueueDepth is the number of ready jobs waiting for a worker.
 	QueueDepth int
@@ -697,5 +757,5 @@ func (s *Server) Load() Load {
 	for _, st := range []State{StatePending, StateUploading, StateRunning} {
 		active += s.metrics.gauges[st].Load()
 	}
-	return Load{QueueDepth: len(s.queue), QueueCap: cap(s.queue), Active: int(active)}
+	return Load{QueueDepth: s.sched.Depth(), QueueCap: s.sched.Cap(), Active: int(active)}
 }

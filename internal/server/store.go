@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"time"
 
 	"ppj/internal/server/wal"
 	"ppj/internal/service"
@@ -40,6 +41,11 @@ type Store interface {
 	// LogCacheEvicted records a sort-cache entry leaving the cache with its
 	// eviction cause.
 	LogCacheEvicted(key, cause string) error
+	// LogScheduled records a contract's recurrence word: its fixed
+	// re-execution interval and next due instant. Appended at recurring
+	// registration and again on every fire (the advanced due-time); the
+	// last record per contract is authoritative at recovery.
+	LogScheduled(contractID string, every time.Duration, due time.Time) error
 	// Close releases the store.
 	Close() error
 }
@@ -68,6 +74,9 @@ func (NopStore) LogCacheStored(string, int64) error { return nil }
 
 // LogCacheEvicted implements Store.
 func (NopStore) LogCacheEvicted(string, string) error { return nil }
+
+// LogScheduled implements Store.
+func (NopStore) LogScheduled(string, time.Duration, time.Time) error { return nil }
 
 // Close implements Store.
 func (NopStore) Close() error { return nil }
@@ -98,6 +107,13 @@ const SiteCacheStored = "cache:stored"
 // SiteCacheEvicted is the faultpoint fired before a cache-evicted manifest
 // record is appended.
 const SiteCacheEvicted = "cache:evicted"
+
+// SiteScheduled is the faultpoint fired before a schedule record is
+// appended — both the one written at recurring registration and the
+// advanced due-time written on every fire. Tearing here freezes the
+// durable schedule at its previous word, the crash instant the recurrence
+// recovery suite pins.
+const SiteScheduled = "schedule"
 
 // TransitionSite names the faultpoint fired before a from→to transition
 // record is appended, e.g. "state:uploading->running". A hook returning
@@ -205,6 +221,19 @@ func (s *WALStore) LogCacheEvicted(key, cause string) error {
 		return err
 	}
 	return s.log.Append(wal.Record{Type: wal.TypeCacheEvicted, ContractID: key, Cause: cause})
+}
+
+// LogScheduled implements Store.
+func (s *WALStore) LogScheduled(contractID string, every time.Duration, due time.Time) error {
+	if err := s.fire(SiteScheduled); err != nil {
+		return err
+	}
+	return s.log.Append(wal.Record{
+		Type:       wal.TypeScheduled,
+		ContractID: contractID,
+		Every:      every.Nanoseconds(),
+		Due:        due.UnixNano(),
+	})
 }
 
 // Close implements Store, releasing the data-dir lock after the log.

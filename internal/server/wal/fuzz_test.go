@@ -67,5 +67,6 @@ func sampleRecordsFuzzSeed() []Record {
 		{Type: TypeResubmitted, ContractID: "tenant-1", JobID: "tenant-1#2"},
 		{Type: TypeCacheStored, ContractID: "tenant-1|A|12|deadbeef", Bytes: 1024},
 		{Type: TypeCacheEvicted, ContractID: "tenant-1|A|12|deadbeef", Cause: "cap"},
+		{Type: TypeScheduled, ContractID: "tenant-1", Every: 60_000_000_000, Due: 1_700_000_000_000_000_000},
 	}
 }

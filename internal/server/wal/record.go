@@ -55,6 +55,13 @@ const (
 	// TypeCacheEvicted records a sorted-relation cache entry leaving the
 	// sort cache with its cause. Mirrors TypeResultEvicted.
 	TypeCacheEvicted Type = 7
+	// TypeScheduled records a contract's recurrence: the fixed re-execution
+	// interval and the next due instant. One is appended when a recurring
+	// contract registers and another every time the schedule fires (the
+	// advanced due-time), so the last record per contract is the schedule's
+	// durable word and a restarted server resumes firing from exactly where
+	// the dead one left off.
+	TypeScheduled Type = 8
 )
 
 // MaxPayload bounds a record payload. Contracts are a few KB; anything
@@ -90,6 +97,9 @@ type Record struct {
 	Cause string
 	// Bytes is the stored result's accounted size (TypeResultStored only).
 	Bytes int64
+	// Every is a recurrence's fixed interval in nanoseconds and Due its
+	// next due instant in Unix nanoseconds (TypeScheduled only).
+	Every, Due int64
 }
 
 var errEncode = errors.New("wal: cannot encode record")
@@ -159,6 +169,23 @@ func (r Record) encodePayload() ([]byte, error) {
 		p = append(p, r.ContractID...)
 		p = binary.BigEndian.AppendUint16(p, uint16(len(r.JobID)))
 		p = append(p, r.JobID...)
+		return p, nil
+	case TypeScheduled:
+		if len(r.ContractID) > 0xffff {
+			return nil, fmt.Errorf("%w: oversized contract id", errEncode)
+		}
+		if r.Every <= 0 {
+			return nil, fmt.Errorf("%w: schedule without a positive interval", errEncode)
+		}
+		if r.Due < 0 {
+			return nil, fmt.Errorf("%w: negative schedule due time", errEncode)
+		}
+		p := make([]byte, 0, 1+2+len(r.ContractID)+8+8)
+		p = append(p, byte(TypeScheduled))
+		p = binary.BigEndian.AppendUint16(p, uint16(len(r.ContractID)))
+		p = append(p, r.ContractID...)
+		p = binary.BigEndian.AppendUint64(p, uint64(r.Every))
+		p = binary.BigEndian.AppendUint64(p, uint64(r.Due))
 		return p, nil
 	}
 	return nil, fmt.Errorf("%w: unknown type %d", errEncode, r.Type)
@@ -262,6 +289,22 @@ func decodePayload(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("%w: resubmission length mismatch", errDecode)
 		}
 		return Record{Type: TypeResubmitted, ContractID: id, JobID: string(body)}, nil
+	case TypeScheduled:
+		body := p[1:]
+		if len(body) < 2 {
+			return Record{}, fmt.Errorf("%w: short schedule record", errDecode)
+		}
+		idLen := int(binary.BigEndian.Uint16(body[0:2]))
+		body = body[2:]
+		if len(body) != idLen+16 {
+			return Record{}, fmt.Errorf("%w: schedule record length mismatch", errDecode)
+		}
+		every := int64(binary.BigEndian.Uint64(body[idLen : idLen+8]))
+		due := int64(binary.BigEndian.Uint64(body[idLen+8:]))
+		if every <= 0 || due < 0 {
+			return Record{}, fmt.Errorf("%w: schedule interval/due out of range", errDecode)
+		}
+		return Record{Type: TypeScheduled, ContractID: string(body[:idLen]), Every: every, Due: due}, nil
 	}
 	return Record{}, fmt.Errorf("%w: unknown type %d", errDecode, p[0])
 }

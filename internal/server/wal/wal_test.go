@@ -15,6 +15,7 @@ func sampleRecords() []Record {
 		{Type: TypeTransition, ContractID: "alpha", From: 1, To: 4, Cause: "context canceled"},
 		{Type: TypeRegistered, Contract: bytes.Repeat([]byte{0xab}, 300)},
 		{Type: TypeTransition, ContractID: "", From: 0, To: 0, Cause: ""},
+		{Type: TypeScheduled, ContractID: "alpha", Every: 5_000_000_000, Due: 1_000_000_000},
 	}
 }
 
@@ -36,7 +37,8 @@ func appendAll(t *testing.T, dir string, recs []Record) {
 
 func recordsEqual(a, b Record) bool {
 	return a.Type == b.Type && bytes.Equal(a.Contract, b.Contract) &&
-		a.ContractID == b.ContractID && a.From == b.From && a.To == b.To && a.Cause == b.Cause
+		a.ContractID == b.ContractID && a.From == b.From && a.To == b.To && a.Cause == b.Cause &&
+		a.Every == b.Every && a.Due == b.Due
 }
 
 func TestAppendRecoverRoundTrip(t *testing.T) {
@@ -206,6 +208,8 @@ func TestEncodeRejectsMalformedRecords(t *testing.T) {
 		{Type: TypeTransition, From: -1}, // state out of range
 		{Type: TypeTransition, To: 300},  // state out of range
 		{Type: TypeRegistered, Contract: make([]byte, MaxPayload+1)}, // over cap
+		{Type: TypeScheduled, ContractID: "c", Every: 0, Due: 1},     // no interval
+		{Type: TypeScheduled, ContractID: "c", Every: 1, Due: -1},    // negative due
 	}
 	for i, r := range bad {
 		if _, err := r.encodeFrame(); err == nil {

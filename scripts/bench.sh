@@ -6,10 +6,17 @@
 # benchmarks it is the busiest device's measured transfer count, i.e. the
 # critical path that shrinks as P grows).
 #
+# After the go benchmarks, the sustained-load driver (cmd/ppjload) runs a
+# multi-shard fleet under PPJ_LOAD_CONTRACTS contracts (default 1000) and
+# merges its latency/throughput report into the artefact under
+# "SustainedLoad". Finally a trajectory table compares the key metrics
+# across every BENCH_*.json present, so a regression against an earlier
+# PR's artefact is visible at a glance.
+#
 # Usage: scripts/bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -43,12 +50,60 @@ END {
 
 echo "wrote $out"
 
+# Sustained load: a 2-shard fleet under tenant-striped contract pressure.
+# The report (p50/p95/p99 latency, throughput, spills, refusals) merges
+# into $out under "SustainedLoad".
+go run ./cmd/ppjload \
+    -shards 2 -tenants 8 \
+    -contracts "${PPJ_LOAD_CONTRACTS:-1000}" \
+    -max-duration "${PPJ_LOAD_MAX_DURATION:-60s}" \
+    -out "$out"
+
+# get FILE BENCH KEY — pull one numeric metric off a single-line JSON
+# entry; empty when the artefact predates the benchmark or the key.
+get() {
+    awk -v bench="$2" -v key="$3" '
+        index($0, "\"" bench "\"") {
+            if (match($0, "\"" key "\":[ ]*[0-9.e+-]+")) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/^.*:[ ]*/, "", v)
+                print v
+                exit
+            }
+        }' "$1"
+}
+
+# Trajectory table: key metrics of every artefact recorded so far.
+# Missing cells (older PRs predate the metric) print as "-".
+echo ""
+echo "benchmark trajectory:"
+{
+    printf '%s %s %s %s %s %s %s %s\n' \
+        artefact fig4_ns_op alg5_transfers alg7_transfers p50_ms p95_ms p99_ms joins_per_s
+    for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+        [ -f "$f" ] || continue
+        printf '%s %s %s %s %s %s %s %s\n' "$f" \
+            "$(get "$f" BenchmarkFig4_1 ns_per_op):" \
+            "$(get "$f" "BenchmarkJoinScaling/alg5/n=4096" transfers):" \
+            "$(get "$f" "BenchmarkJoinScaling/alg7/n=4096" transfers):" \
+            "$(get "$f" SustainedLoad p50_ms):" \
+            "$(get "$f" SustainedLoad p95_ms):" \
+            "$(get "$f" SustainedLoad p99_ms):" \
+            "$(get "$f" SustainedLoad throughput_per_sec):"
+    done
+} | awk '{
+    # Empty metrics collapsed fields above; the ":" suffix keeps each cell
+    # non-empty so the column count is stable. Strip it and dash the blanks.
+    for (i = 2; i <= 8; i++) { sub(/:$/, "", $i); if ($i == "") $i = "-" }
+    printf "%-14s %12s %14s %14s %9s %9s %9s %11s\n", $1, $2, $3, $4, $5, $6, $7, $8
+}'
+
 # Acceptance gate for the sort-based join: at n=4k its measured transfers
 # must come in under 25% of Algorithm 5's on the same matched-keys workload.
 # (Measured-vs-model agreement needs no gate here: the benchmark itself
 # fails unless measured transfers equal the cost model exactly.)
-t7=$(sed -n 's/.*"BenchmarkJoinScaling\/alg7\/n=4096": {.*"transfers": \([0-9.e+]*\).*/\1/p' "$out")
-t5=$(sed -n 's/.*"BenchmarkJoinScaling\/alg5\/n=4096": {.*"transfers": \([0-9.e+]*\).*/\1/p' "$out")
+t7=$(get "$out" "BenchmarkJoinScaling/alg7/n=4096" transfers)
+t5=$(get "$out" "BenchmarkJoinScaling/alg5/n=4096" transfers)
 if [ -n "$t7" ] && [ -n "$t5" ]; then
     awk -v a="$t7" -v b="$t5" 'BEGIN {
         ratio = a / b
